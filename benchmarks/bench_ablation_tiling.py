@@ -1,0 +1,120 @@
+"""Ablation: spatial tile size and temporal blocking depth.
+
+Design choices DESIGN.md calls out:
+
+- *spatial tile size* trades halo-redundant DMA traffic (small tiles)
+  against SPM capacity (large tiles): the sweep exposes the optimum the
+  auto-tuner finds;
+- *temporal blocking depth* trades redundant computation against
+  halo-exchange rounds: profitable only when exchanges are expensive
+  relative to compute.
+"""
+
+import pytest
+from _common import emit
+
+from repro.evalsuite import format_table
+from repro.frontend import build_benchmark
+from repro.ir.analysis import halo_traffic_bytes
+from repro.machine.spec import SUNWAY_CG, SUNWAY_NETWORK, TIANHE3_NETWORK
+from repro.machine.sunway_sim import SunwaySimulator
+from repro.runtime.network import NetworkModel
+from repro.schedule import Schedule, plan_temporal_tiles
+
+
+def _tile_sweep():
+    prog, _ = build_benchmark("3d7pt_star", grid=(256, 256, 256))
+    kern = prog.ir.kernels[0]
+    sim = SunwaySimulator(SUNWAY_CG)
+    rows = []
+    for tile in [(1, 2, 16), (2, 4, 32), (2, 8, 64), (4, 16, 64),
+                 (8, 16, 128)]:
+        sched = Schedule(kern)
+        sched.tile(*tile, "xo", "xi", "yo", "yi", "zo", "zi")
+        sched.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+        sched.cache_read(prog.ir.output, "br")
+        sched.cache_write("bw")
+        sched.compute_at("br", "zo")
+        sched.compute_at("bw", "zo")
+        sched.parallel("xo", 64)
+        try:
+            report = sim.run(prog.ir, sched)
+            rows.append({
+                "tile": "x".join(map(str, tile)),
+                "step_ms": report.step_s * 1e3,
+                "spm_util": report.details["spm_utilisation"],
+                "status": "ok",
+            })
+        except Exception:
+            rows.append({
+                "tile": "x".join(map(str, tile)),
+                "step_ms": float("nan"),
+                "spm_util": float("nan"),
+                "status": "SPM overflow",
+            })
+    return rows
+
+
+def test_ablation_tile_size(benchmark):
+    rows = benchmark(_tile_sweep)
+    emit(
+        "ablation_tile_size",
+        format_table(
+            rows, ["tile", "step_ms", "spm_util", "status"],
+            title="Ablation: 3d7pt tile-size sweep on a Sunway CG "
+                  "(halo redundancy vs SPM capacity)",
+        ),
+    )
+    ok = [r for r in rows if r["status"] == "ok"]
+    assert len(ok) >= 3
+    # tiny tiles pay halo redundancy: worst feasible ≥ 1.3x the best
+    times = [r["step_ms"] for r in ok]
+    assert max(times) / min(times) > 1.3
+    # the paper's Table-5 tile is at (or near) the sweep optimum
+    best = min(ok, key=lambda r: r["step_ms"])
+    assert best["tile"] in ("2x8x64", "4x16x64", "8x16x128")
+
+
+def _temporal_tradeoff(network):
+    prog, _ = build_benchmark("3d7pt_star", grid=(128, 128, 128))
+    model = NetworkModel(network)
+    nprocs = 512
+    halo = halo_traffic_bytes(prog.ir, (128, 128, 128))
+    exchange_s = (
+        model.exchange_time_s(nprocs, halo, 3)
+        + model.sync_time_s(nprocs, 3)
+    )
+    compute_s = 2.4e-3  # one CG sweep of 128^3 (from the Fig. 10 model)
+    rows = []
+    for depth in (1, 2, 4, 8):
+        plan = plan_temporal_tiles(prog.ir, (32, 32, 32), depth)
+        step = (compute_s * plan.redundancy
+                + exchange_s / depth)
+        rows.append({
+            "time_block": depth,
+            "redundancy": plan.redundancy,
+            "exchanges_per_step": 1.0 / depth,
+            "step_ms": step * 1e3,
+        })
+    return rows
+
+
+@pytest.mark.parametrize("netname,network", [
+    ("sunway", SUNWAY_NETWORK), ("tianhe3", TIANHE3_NETWORK),
+])
+def test_ablation_temporal_depth(benchmark, netname, network):
+    rows = benchmark(_temporal_tradeoff, network)
+    emit(
+        f"ablation_temporal_{netname}",
+        format_table(
+            rows,
+            ["time_block", "redundancy", "exchanges_per_step", "step_ms"],
+            title=f"Ablation: temporal blocking depth on {netname} "
+                  "(redundant flops vs exchange rounds)",
+        ),
+    )
+    # redundancy grows monotonically with depth
+    reds = [r["redundancy"] for r in rows]
+    assert reds == sorted(reds)
+    # on a fast network, deep blocking is NOT worth it (step grows)
+    assert rows[-1]["step_ms"] > rows[0]["step_ms"] * 0.8

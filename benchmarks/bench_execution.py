@@ -1,0 +1,86 @@
+"""Real-execution throughput benchmarks (pytest-benchmark timing).
+
+Unlike the figure/table targets (which run analytical models), these
+time the actual executable paths of this reproduction: the vectorized
+numpy sweep, the tiled scheduled executor, the distributed run over the
+simulated MPI runtime, and (when gcc is present) the compiled generated
+C program.
+"""
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.backend import CCodeGenerator
+from repro.backend.numpy_backend import ScheduledExecutor, reference_run
+from repro.frontend import build_benchmark
+from repro.runtime.executor import distributed_run
+from repro.schedule import Schedule
+
+GRID = (48, 48, 48)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    prog, handle = build_benchmark("3d7pt_star", grid=GRID,
+                                   boundary="periodic")
+    rng = np.random.default_rng(0)
+    init = [rng.random(GRID) for _ in range(2)]
+    return prog, handle, init
+
+
+def test_reference_sweep_throughput(benchmark, setup):
+    prog, _, init = setup
+    result = benchmark(reference_run, prog.ir, init, 2, "periodic")
+    assert np.isfinite(result).all()
+
+
+def test_scheduled_sweep_throughput(benchmark, setup):
+    prog, handle, init = setup
+    kern = prog.ir.kernels[0]
+    sched = Schedule(kern).tile(
+        16, 16, 48, "xo", "xi", "yo", "yi", "zo", "zi"
+    )
+    ex = ScheduledExecutor(prog.ir, {kern.name: sched},
+                           boundary="periodic")
+    result = benchmark(ex.run, init, 2)
+    assert np.isfinite(result).all()
+
+
+def test_distributed_sweep_throughput(benchmark, setup):
+    prog, _, init = setup
+    result = benchmark(
+        distributed_run, prog.ir, init, 2, (2, 2, 1), "periodic"
+    )
+    ref = reference_run(prog.ir, init, 2, "periodic")
+    np.testing.assert_array_equal(result, ref)
+
+
+@pytest.mark.skipif(shutil.which("gcc") is None, reason="no gcc")
+def test_compiled_c_throughput(benchmark, setup, tmp_path):
+    prog, _, init = setup
+    gen = CCodeGenerator(prog.ir, {}, boundary="periodic")
+    code = gen.generate("bench3d")
+    code.write_to(str(tmp_path))
+    exe = tmp_path / "bench3d"
+    subprocess.run(
+        ["gcc", "-O2", "-fopenmp", "-o", str(exe),
+         str(tmp_path / "bench3d.c"), "-lm"],
+        check=True, capture_output=True,
+    )
+    init_file = tmp_path / "init.bin"
+    out_file = tmp_path / "out.bin"
+    np.concatenate([p.ravel() for p in init]).tofile(str(init_file))
+
+    def run_binary():
+        subprocess.run(
+            [str(exe), str(init_file), "2", str(out_file)],
+            check=True, capture_output=True,
+        )
+
+    benchmark(run_binary)
+    got = np.fromfile(str(out_file)).reshape(GRID)
+    ref = reference_run(prog.ir, init, 2, "periodic")
+    np.testing.assert_array_equal(got, ref)

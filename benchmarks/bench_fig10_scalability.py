@@ -1,0 +1,67 @@
+"""Fig. 10 (+ Table 7): strong and weak scalability.
+
+Paper: scaling 8x in processes yields average speedups of 6.74x
+(Sunway) / 5.85x (Tianhe-3) strong and 7.85x / 7.38x weak; 2D strong
+scaling deviates on the prototype Tianhe-3 due to network congestion
+while 3D stays near-ideal.
+"""
+
+import pytest
+from _common import emit, mean
+
+from repro.evalsuite import fig10_curves, format_series, line_chart
+
+PAPER = {
+    ("sunway", "strong"): 6.74,
+    ("sunway", "weak"): 7.85,
+    ("tianhe3", "strong"): 5.85,
+    ("tianhe3", "weak"): 7.38,
+}
+
+
+def _curves(platform, mode):
+    curves = fig10_curves(platform, mode)
+    series = {
+        name: [(pt.cores, pt.gflops) for pt in pts]
+        for name, pts in curves.items()
+    }
+    speedups = {
+        name: pts[-1].gflops / pts[0].gflops for name, pts in curves.items()
+    }
+    return series, speedups
+
+
+@pytest.mark.parametrize("platform", ["sunway", "tianhe3"])
+@pytest.mark.parametrize("mode", ["strong", "weak"])
+def test_fig10(benchmark, platform, mode):
+    series, speedups = benchmark(_curves, platform, mode)
+    avg = mean(speedups.values())
+    text = format_series(
+        series, "cores", "GFlops",
+        title=f"Fig. 10 {mode} scaling on {platform}",
+    )
+    text += "\n" + line_chart(
+        series, x_label="cores", y_label="GFlops", logx=True, logy=True,
+    )
+    text += "\nper-benchmark 8x-scale speedups: " + ", ".join(
+        f"{k}={v:.2f}" for k, v in speedups.items()
+    )
+    text += (
+        f"\naverage speedup at max scale: {avg:.2f}x "
+        f"(paper: {PAPER[(platform, mode)]}x)"
+    )
+    emit(f"fig10_{platform}_{mode}", text)
+    assert abs(avg - PAPER[(platform, mode)]) < 0.6
+
+
+def test_fig10_tianhe3_2d_congestion(benchmark):
+    _, speedups = benchmark(_curves, "tianhe3", "strong")
+    s2 = mean(v for k, v in speedups.items() if k.startswith("2d"))
+    s3 = mean(v for k, v in speedups.items() if k.startswith("3d"))
+    emit(
+        "fig10_tianhe3_congestion",
+        f"Tianhe-3 strong scaling: 2D average {s2:.2f}x, 3D average "
+        f"{s3:.2f}x\n(paper: 2D deviates from ideal due to network "
+        "congestion; 3D near-ideal)",
+    )
+    assert s3 > 7.0 > s2

@@ -1,0 +1,33 @@
+"""Fig. 12: MSC vs Halide (JIT and AOT) on the CPU server.
+
+Paper: vs the Halide-JIT baseline, Halide-AOT averages 2.92x and MSC
+3.33x; Halide-AOT beats MSC on small stencils, MSC wins on large ones
+(the data-indexing crossover).
+"""
+
+from _common import emit, mean
+
+from repro.evalsuite import fig12_rows, format_table
+
+
+def test_fig12_halide(benchmark):
+    rows = benchmark(fig12_rows)
+    avg_msc = mean(r["speedup_msc"] for r in rows)
+    avg_aot = mean(r["speedup_aot"] for r in rows)
+    text = format_table(
+        rows,
+        ["benchmark", "msc_s", "halide_aot_s", "halide_jit_s",
+         "speedup_msc", "speedup_aot", "msc_vs_aot"],
+        title="Fig. 12: MSC vs Halide on CPU (100 timesteps, "
+              "Halide-JIT = baseline)",
+    )
+    text += (
+        f"\naverage speedup over JIT: MSC {avg_msc:.2f}x (paper 3.33x), "
+        f"AOT {avg_aot:.2f}x (paper 2.92x)"
+    )
+    emit("fig12_halide", text)
+    assert 3.0 < avg_msc < 3.8
+    assert 2.5 < avg_aot < 3.3
+    by = {r["benchmark"]: r["msc_vs_aot"] for r in rows}
+    assert by["3d7pt_star"] <= 1.02  # AOT competitive on small stencils
+    assert by["2d169pt_box"] > 1.4  # MSC wins on large stencils

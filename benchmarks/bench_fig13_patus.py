@@ -1,0 +1,24 @@
+"""Fig. 13: MSC vs Patus on the CPU server.
+
+Paper: MSC faster on every benchmark, average 5.94x; high-order 3D star
+stencils suffer most under Patus's unaligned SSE accesses.
+"""
+
+from _common import emit, mean
+
+from repro.evalsuite import fig13_rows, format_table
+
+
+def test_fig13_patus(benchmark):
+    rows = benchmark(fig13_rows)
+    avg = mean(r["speedup"] for r in rows)
+    text = format_table(
+        rows, ["benchmark", "msc_s", "patus_s", "speedup"],
+        title="Fig. 13: MSC vs Patus on CPU (Patus = baseline)",
+    )
+    text += f"\naverage speedup: {avg:.2f}x (paper: 5.94x)"
+    emit("fig13_patus", text)
+    assert 5.0 < avg < 7.0
+    assert all(r["speedup"] > 1 for r in rows)
+    by = {r["benchmark"]: r["speedup"] for r in rows}
+    assert by["3d31pt_star"] > by["2d9pt_box"]

@@ -1,0 +1,36 @@
+"""Fig. 14 (+ Table 8): MSC vs Physis on the CPU server.
+
+Paper: MSC wins everywhere, averaging 9.88x, and the gap grows with the
+halo volume (high-order stencils) because Physis relays every halo
+message through a master process.
+"""
+
+from _common import emit, mean
+
+from repro.evalsuite import fig14_rows, format_table
+
+
+def test_fig14_physis(benchmark):
+    rows = benchmark(fig14_rows)
+    avg = mean(r["speedup"] for r in rows)
+    display = [
+        {**r, "mpi_grid": "x".join(map(str, r["mpi_grid"]))} for r in rows
+    ]
+    text = format_table(
+        display,
+        ["benchmark", "mpi_grid", "omp_threads", "msc_s", "physis_s",
+         "speedup"],
+        title="Fig. 14: MSC (hybrid MPI+OpenMP, Table 8 configs) vs "
+              "Physis (MPI-everywhere)",
+    )
+    text += f"\naverage speedup: {avg:.2f}x (paper: 9.88x)"
+    emit("fig14_physis", text)
+    assert 8.0 < avg < 12.0
+    assert all(r["speedup"] > 1 for r in rows)
+    low = mean(
+        r["speedup"] for r in rows if r["benchmark"] == "3d7pt_star"
+    )
+    high = mean(
+        r["speedup"] for r in rows if r["benchmark"] == "3d31pt_star"
+    )
+    assert high > low

@@ -1,0 +1,36 @@
+"""Fig. 7: MSC vs OpenACC on one Sunway core group (fp64 + fp32).
+
+Paper: MSC outperforms OpenACC in all cases, average speedup 24.4x
+(fp64) and 20.7x (fp32).
+"""
+
+from _common import emit, mean
+
+from repro.evalsuite import fig7_rows, format_table
+
+
+def test_fig7_fp64(benchmark):
+    rows = benchmark(fig7_rows, "fp64")
+    avg = mean(r["speedup"] for r in rows)
+    text = format_table(
+        rows,
+        ["benchmark", "msc_s", "openacc_s", "speedup", "msc_gflops",
+         "spm_utilisation"],
+        title="Fig. 7 (fp64): MSC vs OpenACC on a Sunway CG",
+    )
+    text += f"\naverage speedup: {avg:.1f}x (paper: 24.4x)"
+    emit("fig7_sunway_openacc_fp64", text)
+    assert 20 < avg < 30
+    assert all(r["speedup"] > 1 for r in rows)
+
+
+def test_fig7_fp32(benchmark):
+    rows = benchmark(fig7_rows, "fp32")
+    avg = mean(r["speedup"] for r in rows)
+    text = format_table(
+        rows, ["benchmark", "msc_s", "openacc_s", "speedup"],
+        title="Fig. 7 (fp32): MSC vs OpenACC on a Sunway CG",
+    )
+    text += f"\naverage speedup: {avg:.1f}x (paper: 20.7x)"
+    emit("fig7_sunway_openacc_fp32", text)
+    assert 17 < avg < 25

@@ -1,0 +1,33 @@
+"""Fig. 8: MSC vs manually-optimized OpenMP on a Matrix supernode.
+
+Paper: near parity — MSC reaches 1.05x (fp64) / 1.03x (fp32) of the
+hand-tuned code on average.
+"""
+
+from _common import emit, mean
+
+from repro.evalsuite import fig8_rows, format_table
+
+
+def test_fig8_fp64(benchmark):
+    rows = benchmark(fig8_rows, "fp64")
+    avg = mean(r["speedup"] for r in rows)
+    text = format_table(
+        rows, ["benchmark", "msc_s", "openmp_s", "speedup", "msc_gflops"],
+        title="Fig. 8 (fp64): MSC vs manual OpenMP on Matrix",
+    )
+    text += f"\naverage MSC/OpenMP performance: {avg:.2f}x (paper: 1.05x)"
+    emit("fig8_matrix_openmp_fp64", text)
+    assert abs(avg - 1.05) < 0.04
+
+
+def test_fig8_fp32(benchmark):
+    rows = benchmark(fig8_rows, "fp32")
+    avg = mean(r["speedup"] for r in rows)
+    text = format_table(
+        rows, ["benchmark", "msc_s", "openmp_s", "speedup"],
+        title="Fig. 8 (fp32): MSC vs manual OpenMP on Matrix",
+    )
+    text += f"\naverage MSC/OpenMP performance: {avg:.2f}x (paper: 1.03x)"
+    emit("fig8_matrix_openmp_fp32", text)
+    assert abs(avg - 1.03) < 0.04

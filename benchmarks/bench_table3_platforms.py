@@ -1,0 +1,29 @@
+"""Table 3: the hardware/software configuration of the three platforms
+(as modelled by the machine specs)."""
+
+from _common import emit
+
+from repro.evalsuite import format_table, table3_rows
+
+
+def test_table3_platforms(benchmark):
+    rows = benchmark(table3_rows)
+    display = [
+        {
+            "platform": r["platform"],
+            "processor": r["processor"],
+            "peak_gflops": r["model"].peak_gflops,
+            "mem_bw_GBs": r["model"].mem_bw_GBs,
+            "model": r["model"].programming_model,
+        }
+        for r in rows
+    ]
+    emit(
+        "table3_platforms",
+        format_table(
+            display,
+            ["platform", "processor", "peak_gflops", "mem_bw_GBs", "model"],
+            title="Table 3: platform configurations (modelled)",
+        ),
+    )
+    assert len(rows) == 3

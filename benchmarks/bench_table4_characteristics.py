@@ -1,0 +1,22 @@
+"""Table 4: stencil benchmark characteristics.
+
+Regenerates the read/write bytes, op counts and time-dependency columns
+from the IR analysis, next to the paper's reported values.
+"""
+
+from _common import emit
+
+from repro.evalsuite import format_table, table4_rows
+
+
+def test_table4_characteristics(benchmark):
+    rows = benchmark(table4_rows)
+    text = format_table(
+        rows,
+        ["benchmark", "read_bytes", "paper_read", "write_bytes",
+         "paper_write", "ops", "paper_ops", "time_dep"],
+        title="Table 4: benchmark characteristics (measured vs paper)",
+    )
+    emit("table4_characteristics", text)
+    assert all(r["read_bytes"] == r["paper_read"] for r in rows)
+    assert all(r["time_dep"] == 2 for r in rows)

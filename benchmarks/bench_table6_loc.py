@@ -1,0 +1,22 @@
+"""Table 6: lines-of-code comparison (MSC vs OpenACC vs OpenMP)."""
+
+from _common import emit, mean
+
+from repro.evalsuite import format_table, table6_rows
+
+
+def test_table6_loc(benchmark):
+    rows = benchmark(table6_rows)
+    red_acc = mean(1 - r["msc"] / r["openacc"] for r in rows)
+    red_omp = mean(1 - r["msc"] / r["openmp"] for r in rows)
+    text = format_table(
+        rows, ["benchmark", "msc", "openacc", "openmp"],
+        title="Table 6: LoC comparison",
+    )
+    text += (
+        f"\naverage reduction vs OpenACC: {red_acc:.0%} (paper: 27%)"
+        f"\naverage reduction vs OpenMP:  {red_omp:.0%} (paper: 74%)"
+    )
+    emit("table6_loc", text)
+    assert all(r["msc"] < r["openacc"] for r in rows)
+    assert all(r["msc"] < r["openmp"] for r in rows)

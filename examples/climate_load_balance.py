@@ -1,0 +1,70 @@
+"""Inspector-executor on climate-style workloads (Sec. 5.6).
+
+The paper's discussion motivates extending MSC to WRF and POP2, which
+"suffer from serious load imbalance in large-scale execution".  This
+demo builds a POP2-style ocean/land cost field and a WRF-style hotspot
+field, runs the inspector (weighted decomposition + per-rank tile
+schedules), executes the balanced plan over the simulated MPI runtime,
+and verifies the numerics against the serial reference.
+
+Run:  python examples/climate_load_balance.py
+"""
+
+import numpy as np
+
+from repro.backend.numpy_backend import reference_run
+from repro.frontend import build_benchmark
+from repro.inspector import (
+    Inspector,
+    WorkloadMap,
+    execute_plan,
+    hotspot_weights,
+    ocean_land_mask,
+)
+
+
+def show_plan(name, plan):
+    print(f"\n[{name}]")
+    print(f"  imbalance (max/mean rank cost): uniform "
+          f"{plan.imbalance_before:.2f} -> balanced "
+          f"{plan.imbalance_after:.2f}")
+    print(f"  projected step-time speedup: {plan.projected_speedup:.2f}x")
+    shapes = [sd.shape for sd in plan.balanced]
+    print(f"  balanced sub-domain shapes: {shapes}")
+    print(f"  per-rank tiles: {plan.tile_per_rank}")
+
+
+def main():
+    shape = (64, 64)
+    prog, _ = build_benchmark("2d9pt_star", grid=shape,
+                              boundary="periodic")
+    rng = np.random.default_rng(42)
+    init = [rng.random(shape) for _ in range(2)]
+    ref = reference_run(prog.ir, init, 5, boundary="periodic")
+
+    # WRF-style: a physics hotspot costing 12x the background
+    w_hot = WorkloadMap(hotspot_weights(shape, factor=12.0))
+    plan_hot = Inspector(prog.ir, w_hot).inspect((4, 2))
+    show_plan("WRF-style hotspot", plan_hot)
+    outcome = execute_plan(prog.ir, plan_hot, w_hot, init, 5,
+                           boundary="periodic")
+    assert np.array_equal(outcome.result, ref)
+    print(f"  executed on 8 simulated ranks: result identical to serial; "
+          f"measured step-cost speedup {outcome.speedup:.2f}x")
+
+    # POP2-style: land cells cost ~nothing
+    w_ocean = WorkloadMap(ocean_land_mask(shape, land_fraction=0.45,
+                                          seed=3))
+    plan_ocean = Inspector(prog.ir, w_ocean).inspect((4, 2))
+    show_plan("POP2-style ocean/land", plan_ocean)
+    outcome2 = execute_plan(prog.ir, plan_ocean, w_ocean, init, 5,
+                            boundary="periodic")
+    assert np.array_equal(outcome2.result, ref)
+    print(f"  executed on 8 simulated ranks: result identical to serial; "
+          f"measured step-cost speedup {outcome2.speedup:.2f}x")
+
+    print("\nclimate load-balance demo OK")
+
+
+if __name__ == "__main__":
+    main()

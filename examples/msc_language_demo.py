@@ -1,0 +1,76 @@
+"""Textual MSC language demo: parse a Listing-1-style program and run it.
+
+The same stencil can be written as an ``.msc`` text program (the
+paper's C++-embedded surface syntax) and parsed into a ready
+StencilProgram — kernels, schedules, stencil combination and MPI grid
+all come from the source text.
+
+Run:  python examples/msc_language_demo.py
+"""
+
+import numpy as np
+
+from repro.backend.numpy_backend import reference_run
+from repro.frontend.lang import parse_program
+
+SOURCE = """
+// 3d7pt stencil from HPGMG (Listing 1 of the paper)
+const N = 24;
+const halo_width = 1;
+const time_window_size = 3;
+
+DefVar(k, i32); DefVar(j, i32); DefVar(i, i32);
+DefTensor3D_TimeWin(B, time_window_size, halo_width, f64, N, N, N);
+
+Kernel S_3d7pt((k,j,i),
+    0.4*B[k,j,i]
+  + 0.1*B[k,j,i-1] + 0.1*B[k,j,i+1]
+  + 0.1*B[k-1,j,i] + 0.1*B[k+1,j,i]
+  + 0.1*B[k,j-1,i] + 0.1*B[k,j+1,i]);
+
+/* optimization primitives (Listing 2) */
+S_3d7pt.tile(4, 8, 24, xo, xi, yo, yi, zo, zi);
+S_3d7pt.reorder(xo, yo, zo, xi, yi, zi);
+S_3d7pt.cache_read(B, buffer_read, "global");
+S_3d7pt.cache_write(buffer_write, "global");
+S_3d7pt.compute_at(buffer_read, zo);
+S_3d7pt.compute_at(buffer_write, zo);
+S_3d7pt.parallel(xo, 64);
+
+Stencil st((k,j,i), B[t] << 0.6*S_3d7pt[t-1] + 0.4*S_3d7pt[t-2]);
+DefShapeMPI3D(shape_mpi, 2, 2, 1);
+"""
+
+
+def main():
+    parsed = parse_program(SOURCE)
+    print(f"parsed stencil {parsed.stencil_name!r}:")
+    print(f"  constants: {parsed.consts}")
+    print(f"  tensors:   {list(parsed.tensors)}")
+    print(f"  kernels:   {list(parsed.kernels)}")
+    print(f"  MPI grid:  {parsed.mpi_grid}")
+    handle = parsed.kernels["S_3d7pt"]
+    print(f"  schedule:  tiles {handle.schedule.tile_factors}, "
+          f"{handle.schedule.nthreads} threads, "
+          f"SPM buffers {[b.buffer for b in handle.schedule.cache_bindings()]}")
+
+    rng = np.random.default_rng(5)
+    init = [rng.random((24, 24, 24)) for _ in range(2)]
+    parsed.program.set_initial(init)
+    # the parsed MPI grid makes this a 4-rank distributed run
+    result = parsed.program.run(timesteps=6)
+    reference = reference_run(parsed.program.ir, init, 6, boundary="zero")
+    err = np.abs(result - reference).max()
+    print(f"\n6 timesteps on a {parsed.mpi_grid} MPI grid: "
+          f"max |dist - serial| = {err:.1e}")
+    assert err == 0.0
+
+    # the parsed program can also drive code generation
+    code = parsed.program.compile_to_source_code("from_text",
+                                                 target="sunway")
+    print(f"generated Sunway bundle: {sorted(code.files)}")
+    print("MSC language demo OK")
+
+
+if __name__ == "__main__":
+    main()

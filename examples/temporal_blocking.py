@@ -1,0 +1,53 @@
+"""Overlapped temporal tiling: trade redundant flops for fewer syncs.
+
+Advances a 3d7pt stencil several timesteps per tile visit using the
+overlapped (trapezoid-rim) scheme from the paper's background section:
+tiles extended by ``time_block x radius`` ghost cells can run
+``time_block`` steps without touching neighbours, because stale values
+creep inward only ``radius`` cells per step.
+
+The demo verifies exactness against the step-by-step reference at
+several depths and prints the redundancy / synchronisation trade-off.
+
+Run:  python examples/temporal_blocking.py
+"""
+
+import numpy as np
+
+from repro.backend.numpy_backend import reference_run
+from repro.backend.temporal_exec import TemporalTilingExecutor
+from repro.frontend import build_benchmark
+from repro.schedule import plan_temporal_tiles
+
+
+def main():
+    grid = (32, 32, 32)
+    tile = (16, 16, 16)
+    prog, _ = build_benchmark("3d7pt_star", grid=grid,
+                              boundary="periodic")
+    rng = np.random.default_rng(9)
+    init = [rng.random(grid) for _ in range(2)]
+
+    total_steps = 12
+    print(f"3d7pt over {grid}, tile {tile}, {total_steps} timesteps\n")
+    print(f"{'depth':>5}  {'redundancy':>10}  {'exchanges':>9}  "
+          f"{'max err':>9}")
+    ref = reference_run(prog.ir, init, total_steps, boundary="periodic")
+    for depth in (1, 2, 3, 4, 6):
+        plan = plan_temporal_tiles(prog.ir, tile, depth)
+        ex = TemporalTilingExecutor(prog.ir, tile, depth,
+                                    boundary="periodic")
+        got = ex.run(init, total_steps // depth)
+        err = float(np.abs(got - ref).max())
+        exchanges = total_steps // depth  # one sync per block
+        print(f"{depth:>5}  {plan.redundancy:>10.2f}  {exchanges:>9}  "
+              f"{err:>9.1e}")
+        assert err == 0.0
+
+    print("\nall depths bitwise-exact; deeper blocks compute more "
+          "redundant points but synchronise less often")
+    print("temporal blocking demo OK")
+
+
+if __name__ == "__main__":
+    main()

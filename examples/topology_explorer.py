@@ -1,0 +1,59 @@
+"""Interconnect topology exploration for halo exchange.
+
+The paper argues MSC's pluggable communication library "enables easy
+adaption to supercomputers or large clusters installed with exotic
+network topologies".  This demo routes the halo-exchange wavefront of
+two stencils over concrete interconnects (networkx graphs, ECMP
+shortest-path routing) and shows where traffic concentrates:
+
+- a full-bisection fat tree spreads the load,
+- an over-subscribed fat tree bottlenecks at its thin core layer,
+- a torus that *matches* the process grid keeps every message on a
+  direct link (the classic topology-aware placement win).
+
+Run:  python examples/topology_explorer.py
+"""
+
+from repro.frontend import build_benchmark
+from repro.runtime.topology import fat_tree, route_exchange, torus
+
+
+def report(label, load):
+    print(f"  {label:24s} total={load.total_bytes / 1e6:7.2f} MB  "
+          f"hottest link={load.max_link_bytes / 1e6:7.3f} MB  "
+          f"hotspot={load.hotspot_factor:5.2f}  "
+          f"serialisation={load.congestion_time_s * 1e6:8.1f} us")
+
+
+def main():
+    cases = [
+        ("3d7pt_star", (64, 64, 64), (4, 4, 4)),
+        ("3d31pt_star", (64, 64, 64), (4, 4, 4)),
+        ("2d121pt_box", (512, 512), (8, 8)),
+    ]
+    for name, grid, pgrid in cases:
+        prog, _ = build_benchmark(name, grid=grid)
+        print(f"\n{name} on a "
+              f"{'x'.join(map(str, pgrid))} process grid:")
+        report("fat tree (full bisection)",
+               route_exchange(prog.ir, pgrid, fat_tree(64, radix=8)))
+        report("fat tree (4:1 oversubscribed)",
+               route_exchange(prog.ir, pgrid,
+                              fat_tree(64, radix=8, up_ratio=0.25)))
+        if len(pgrid) == 3:
+            report("4x4x4 torus (matched)",
+                   route_exchange(prog.ir, pgrid, torus((4, 4, 4))))
+        else:
+            report("8x8 torus (matched)",
+                   route_exchange(prog.ir, pgrid, torus((8, 8))))
+
+    # sanity: matched torus never has a hotspot
+    prog, _ = build_benchmark("3d7pt_star", grid=(64, 64, 64))
+    matched = route_exchange(prog.ir, (4, 4, 4), torus((4, 4, 4)))
+    assert matched.hotspot_factor == 1.0
+    print("\nmatched torus routes every halo message on a direct link")
+    print("topology explorer OK")
+
+
+if __name__ == "__main__":
+    main()

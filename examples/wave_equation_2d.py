@@ -1,0 +1,90 @@
+"""Second-order wave equation — the paper's motivating PDE class.
+
+The introduction motivates MSC with "second-order wave functions such
+as mechanical waves, electromagnetic waves, and gravitational waves",
+whose leapfrog discretisation reads the grid at *two* past timesteps:
+
+    u[t] = 2 u[t-1] - u[t-2] + (c dt/dx)^2 * lap(u[t-1])
+
+In MSC this is exactly a Stencil with multiple time dependencies:
+one kernel combining the propagation term applied at t-1, minus the
+identity kernel applied at t-2.  The demo propagates a Gaussian pulse
+on a 2-D membrane, verifies energy stays bounded (CFL-stable
+coefficients) and that the scheduled run matches the reference.
+
+Run:  python examples/wave_equation_2d.py
+"""
+
+import numpy as np
+
+import repro as msc
+
+
+def build_wave_program(n=128, courant=0.5):
+    j, i = msc.indices("j i")
+    U = msc.DefTensor2D_TimeWin("U", 3, 1, msc.f64, n, n)
+
+    c2 = courant ** 2
+    # propagation kernel: 2u + c^2 * discrete Laplacian
+    prop = msc.Kernel(
+        "wave_prop", (j, i),
+        (2.0 - 4.0 * c2) * U[j, i]
+        + c2 * (U[j, i - 1] + U[j, i + 1] + U[j - 1, i] + U[j + 1, i]),
+    )
+    # identity kernel for the -u[t-2] term
+    ident = msc.Kernel("ident", (j, i), 1.0 * U[j, i])
+
+    prop.tile(16, 64, "xo", "xi", "yo", "yi")
+    prop.reorder("xo", "yo", "xi", "yi")
+    prop.parallel("xo", 8)
+
+    t = msc.StencilProgram.t
+    program = msc.StencilProgram(
+        U, prop[t - 1] - ident[t - 2], boundary="zero"
+    )
+    return program
+
+
+def gaussian_pulse(n, cx, cy, sigma=6.0):
+    y, x = np.mgrid[0:n, 0:n]
+    return np.exp(-((x - cx) ** 2 + (y - cy) ** 2) / (2 * sigma ** 2))
+
+
+def main():
+    n = 128
+    program = build_wave_program(n)
+    st = program.ir
+    print(f"wave stencil: {st!r}")
+    print(f"time dependencies: {st.time_dependencies} (leapfrog)")
+    print(f"required window: {st.required_time_window} planes")
+
+    u0 = gaussian_pulse(n, n // 2, n // 2)
+    program.set_initial([u0, u0])  # start at rest: u(-dt) = u(0)
+
+    steps = 120
+    result = program.run(timesteps=steps)
+    reference = program.run(timesteps=steps, scheduled=False)
+    assert np.array_equal(result, reference)
+
+    # the pulse must have propagated outward: centre amplitude drops,
+    # energy reaches the mid-radius ring
+    centre = abs(result[n // 2, n // 2])
+    ring = np.abs(result[n // 2, n // 4])
+    print(f"after {steps} steps: centre amplitude {centre:.3f}, "
+          f"ring amplitude {ring:.3f}")
+    assert centre < 0.9
+    assert np.isfinite(result).all()
+    rms = float(np.sqrt((result ** 2).mean()))
+    print(f"RMS field {rms:.4f} (bounded -> CFL-stable)")
+    assert rms < 1.0
+
+    # distributed execution reproduces the same wave field exactly
+    program.set_mpi_grid((2, 2))
+    distributed = program.run(timesteps=steps)
+    assert np.array_equal(distributed, reference)
+    print("distributed (2x2 MPI grid) wave field identical to serial")
+    print("wave equation demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""MSC: automatic code generation and optimization of large-scale
+stencil computation on many-core processors.
+
+Reproduction of Li et al., ICPP 2021.  The package provides:
+
+- the MSC embedded DSL (:mod:`repro.frontend`) with kernels, stencils
+  with multiple time dependencies, and scheduling primitives;
+- the single-level IR (:mod:`repro.ir`);
+- schedule lowering with tile/reorder/parallel/cache primitives and the
+  sliding time window (:mod:`repro.schedule`);
+- AOT C code generation for CPU/Matrix (OpenMP) and Sunway (athread)
+  plus the executable numpy backend (:mod:`repro.backend`);
+- architectural machine models and simulators (:mod:`repro.machine`);
+- the pluggable halo-exchange communication library (:mod:`repro.comm`)
+  over a simulated MPI runtime (:mod:`repro.runtime`);
+- the auto-tuner (:mod:`repro.autotune`), the baseline system models
+  (:mod:`repro.baselines`) and the paper's evaluation harness
+  (:mod:`repro.evalsuite`).
+
+Quickstart::
+
+    import numpy as np
+    import repro as msc
+
+    k, j, i = msc.indices("k j i")
+    B = msc.DefTensor3D_TimeWin("B", 3, 1, msc.f64, 64, 64, 64)
+    S = msc.Kernel("S", (k, j, i),
+                   0.4 * B[k, j, i] + 0.1 * (B[k, j, i - 1] + B[k, j, i + 1]
+                   + B[k - 1, j, i] + B[k + 1, j, i]
+                   + B[k, j - 1, i] + B[k, j + 1, i]))
+    t = msc.StencilProgram.t
+    st = msc.StencilProgram(B, 0.6 * S[t - 1] + 0.4 * S[t - 2])
+    st.set_initial([np.random.rand(64, 64, 64)] * 2)
+    result = st.run(timesteps=10)
+"""
+
+from .ir.dtypes import DType, f32, f64, i32
+from .frontend.dsl import (
+    DefShapeMPI2D,
+    DefShapeMPI3D,
+    DefTensor1D,
+    DefTensor2D,
+    DefTensor2D_TimeWin,
+    DefTensor3D,
+    DefTensor3D_TimeWin,
+    DefVar,
+    Kernel,
+    KernelHandle,
+    Result,
+    StencilProgram,
+    indices,
+)
+from .frontend.stencils import (
+    ALL_BENCHMARKS,
+    BENCHMARK_NAMES,
+    benchmark_by_name,
+    build_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DType", "f32", "f64", "i32",
+    "DefShapeMPI2D", "DefShapeMPI3D",
+    "DefTensor1D", "DefTensor2D", "DefTensor2D_TimeWin",
+    "DefTensor3D", "DefTensor3D_TimeWin", "DefVar",
+    "Kernel", "KernelHandle", "Result", "StencilProgram", "indices",
+    "ALL_BENCHMARKS", "BENCHMARK_NAMES", "benchmark_by_name",
+    "build_benchmark",
+    "__version__",
+]

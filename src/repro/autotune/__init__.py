@@ -1,0 +1,14 @@
+"""Performance auto-tuning (Sec. 4.4): linear-regression performance
+model + simulated-annealing search over tile sizes and MPI grid shapes."""
+
+from .perfmodel import PerformanceModel, TuningConfig
+from .annealing import AnnealingResult, simulated_annealing
+from .tuner import AutoTuner, TuningResult
+from .autoschedule import auto_schedule, candidate_tiles
+
+__all__ = [
+    "PerformanceModel", "TuningConfig",
+    "AnnealingResult", "simulated_annealing",
+    "AutoTuner", "TuningResult",
+    "auto_schedule", "candidate_tiles",
+]

@@ -1,0 +1,124 @@
+"""Automatic schedule generation for a stencil on a target machine.
+
+Composes the Sec. 4.3 primitives without user input: choose
+SPM/cache-feasible tile sizes (small greedy search on the analytical
+cost model), order loops outer-tiles-first, stage through SPM on
+cache-less targets, parallelise the outermost axis over the cores, and
+vectorize the innermost loop.  This is the "no schedule given" path of
+the DSL — the hand-written Table-5 schedules or the full auto-tuner
+(Sec. 4.4) still win when invoked explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.kernel import Kernel
+from ..ir.stencil import Stencil
+from ..machine.spec import MachineSpec, SUNWAY_CG
+from ..schedule.legality import check_schedule
+from ..schedule.schedule import Schedule
+
+__all__ = ["auto_schedule", "candidate_tiles"]
+
+_AXIS_NAMES = {
+    1: ("xo", "xi"),
+    2: ("xo", "xi", "yo", "yi"),
+    3: ("xo", "xi", "yo", "yi", "zo", "zi"),
+}
+_REORDER = {
+    1: ("xo", "xi"),
+    2: ("xo", "yo", "xi", "yi"),
+    3: ("xo", "yo", "zo", "xi", "yi", "zi"),
+}
+
+
+def candidate_tiles(shape: Sequence[int],
+                    max_candidates: int = 200) -> List[Tuple[int, ...]]:
+    """Power-of-two tile candidates, unit-stride dimension longest."""
+    ndim = len(shape)
+    per_dim: List[List[int]] = []
+    for d, s in enumerate(shape):
+        cap = min(s, 256 if d == ndim - 1 else 32)
+        opts = []
+        v = 1
+        while v <= cap:
+            opts.append(v)
+            v *= 2
+        per_dim.append(opts)
+    combos = list(itertools.product(*per_dim))
+    # prefer long unit-stride extents, then larger volume
+    combos.sort(key=lambda t: (-t[-1], -_volume(t)))
+    return combos[:max_candidates]
+
+
+def _volume(tile: Sequence[int]) -> int:
+    n = 1
+    for t in tile:
+        n *= t
+    return n
+
+
+def _cost(stencil: Stencil, tile: Tuple[int, ...],
+          machine: MachineSpec) -> float:
+    """Per-point cost estimate: DMA/cache traffic + request startup."""
+    rad = stencil.radius
+    elem = stencil.output.dtype.nbytes
+    interior = 1
+    padded = 1
+    for t, r in zip(tile, rad):
+        interior *= t
+        padded *= t + 2 * r
+    if machine.cacheless:
+        if (padded + interior) * elem > machine.spm_bytes:
+            return float("inf")
+    traffic_pp = (padded / interior + 1.0) * elem
+    cores = machine.cores_per_node
+    startup_pp = (
+        2 * machine.dma_startup_us * 1e-6 / interior * cores
+        if machine.cacheless else 0.0
+    )
+    bw = machine.mem_bw_GBs * machine.stream_efficiency * 1e9
+    return traffic_pp / bw + startup_pp
+
+
+def auto_schedule(stencil: Stencil,
+                  machine: MachineSpec = SUNWAY_CG,
+                  kernel: Optional[Kernel] = None,
+                  vectorize: bool = True) -> Schedule:
+    """Build a complete legal schedule for ``stencil`` on ``machine``."""
+    kern = kernel or stencil.kernels[0]
+    shape = stencil.output.shape
+    ndim = len(shape)
+    best_tile = None
+    best_cost = float("inf")
+    for tile in candidate_tiles(shape):
+        cost = _cost(stencil, tile, machine)
+        if cost < best_cost:
+            best_cost = cost
+            best_tile = tile
+    if best_tile is None or best_cost == float("inf"):
+        raise ValueError(
+            f"no feasible tile for {kern.name!r} on {machine.name} "
+            "(stencil radius too wide for the scratchpad?)"
+        )
+
+    names = _AXIS_NAMES[ndim]
+    sched = Schedule(kern)
+    sched.tile(*best_tile, *names)
+    sched.reorder(*_REORDER[ndim])
+    if machine.cacheless:
+        for tensor in kern.input_tensors:
+            sched.cache_read(tensor, f"buf_{tensor.name}", "global")
+        sched.cache_write("buf_out", "global")
+        anchor = _REORDER[ndim][ndim - 1]  # innermost outer axis
+        for tensor in kern.input_tensors:
+            sched.compute_at(f"buf_{tensor.name}", anchor)
+        sched.compute_at("buf_out", anchor)
+    sched.parallel("xo", machine.cores_per_node)
+    if vectorize:
+        sched.vectorize(_REORDER[ndim][-1])
+    # final guarantee: the composed schedule is legal on the target
+    check_schedule(sched, sched.lower(shape), machine)
+    return sched

@@ -1,0 +1,140 @@
+"""Analytical performance model fit by multivariable linear regression.
+
+The paper (Sec. 4.4, "Performance auto-tuning") builds a linear model
+of the stencil kernel time over tuning parameters — considering MPI
+initialisation, kernel computation, packing/unpacking and transfer
+time — and lets simulated annealing search on the cheap surrogate
+instead of timing every candidate.
+
+Features are physically-motivated transforms of the raw knobs (tile
+sizes, MPI grid), so a *linear* model fits well: tile-halo overhead,
+DMA request counts, per-process halo volume, message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TuningConfig", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """One point of the tuning space: tile sizes + MPI grid shape."""
+
+    tile: Tuple[int, ...]
+    mpi_grid: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.tile) != len(self.mpi_grid):
+            raise ValueError("tile and MPI grid rank mismatch")
+        if any(t < 1 for t in self.tile):
+            raise ValueError(f"tile sizes must be >= 1: {self.tile}")
+        if any(g < 1 for g in self.mpi_grid):
+            raise ValueError(f"grid extents must be >= 1: {self.mpi_grid}")
+
+    @property
+    def nprocs(self) -> int:
+        n = 1
+        for g in self.mpi_grid:
+            n *= g
+        return n
+
+
+class PerformanceModel:
+    """Linear regression over engineered features of a TuningConfig."""
+
+    FEATURE_NAMES = (
+        "bias",
+        "ntiles_per_proc",  # DMA request count → startup latency term
+        "halo_overhead",  # padded/interior tile ratio → redundant bytes
+        "points_per_proc",  # streamed volume → bandwidth term
+        "halo_bytes_per_proc",  # pack/transfer/unpack volume
+        "messages",  # per-step message count → network latency term
+        "grid_imbalance",  # worst/mean sub-domain ratio
+    )
+
+    def __init__(self, global_shape: Sequence[int], radius: Sequence[int],
+                 elem_bytes: int = 8):
+        self.global_shape = tuple(int(s) for s in global_shape)
+        self.radius = tuple(int(r) for r in radius)
+        self.elem = elem_bytes
+        self.coef: np.ndarray | None = None
+
+    # -- feature engineering ------------------------------------------------------
+    def _sub_shape(self, config: TuningConfig) -> Tuple[int, ...]:
+        # the largest sub-domain determines the critical path
+        return tuple(
+            -(-s // g) for s, g in zip(self.global_shape, config.mpi_grid)
+        )
+
+    def features(self, config: TuningConfig) -> np.ndarray:
+        sub = self._sub_shape(config)
+        tile = tuple(min(t, s) for t, s in zip(config.tile, sub))
+        ntiles = 1
+        interior = 1
+        padded = 1
+        for s, t, r in zip(sub, tile, self.radius):
+            ntiles *= -(-s // t)
+            interior *= t
+            padded *= t + 2 * r
+        points = 1
+        for s in sub:
+            points *= s
+        halo_bytes = 0
+        ndim = len(sub)
+        for d in range(ndim):
+            face = 1
+            for dd in range(ndim):
+                face *= self.radius[d] if dd == d else sub[dd]
+            halo_bytes += 2 * face * self.elem
+        messages = 2 * sum(1 for r in self.radius if r > 0)
+        mean_points = 1
+        for s, g in zip(self.global_shape, config.mpi_grid):
+            mean_points *= s / g
+        imbalance = points / mean_points
+        return np.array([
+            1.0,
+            float(ntiles),
+            padded / interior,
+            float(points),
+            float(halo_bytes),
+            float(messages),
+            imbalance,
+        ])
+
+    # -- fitting / prediction -------------------------------------------------------
+    def fit(self, configs: Sequence[TuningConfig],
+            times: Sequence[float]) -> "PerformanceModel":
+        """Least-squares fit; needs at least as many samples as features."""
+        if len(configs) != len(times):
+            raise ValueError("configs/times length mismatch")
+        if len(configs) < len(self.FEATURE_NAMES):
+            raise ValueError(
+                f"need >= {len(self.FEATURE_NAMES)} samples, got "
+                f"{len(configs)}"
+            )
+        X = np.stack([self.features(c) for c in configs])
+        y = np.asarray(times, dtype=float)
+        # scale columns for conditioning
+        scale = np.maximum(np.abs(X).max(axis=0), 1e-12)
+        coef, *_ = np.linalg.lstsq(X / scale, y, rcond=None)
+        self.coef = coef / scale
+        return self
+
+    def predict(self, config: TuningConfig) -> float:
+        if self.coef is None:
+            raise RuntimeError("model not fitted: call fit() first")
+        return float(self.features(config) @ self.coef)
+
+    def score(self, configs: Sequence[TuningConfig],
+              times: Sequence[float]) -> float:
+        """R² on held-out samples."""
+        y = np.asarray(times, dtype=float)
+        pred = np.array([self.predict(c) for c in configs])
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0

@@ -1,0 +1,238 @@
+"""The MSC auto-tuner: tile sizes + MPI grid shape (Sec. 4.4, Fig. 11).
+
+Pipeline:
+
+1. sample a few dozen configurations and *measure* them on the
+   analytical simulators (single-node kernel time + network exchange
+   time — the terms the paper lists: kernel computation, packing/
+   unpacking, transfer, MPI setup);
+2. fit the linear :class:`~repro.autotune.perfmodel.PerformanceModel`;
+3. run simulated annealing on the surrogate;
+4. re-measure the winner (guarding against surrogate error) and report
+   the convergence history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..ir.analysis import halo_traffic_bytes, stencil_flops_per_point
+from ..ir.stencil import Stencil
+from ..machine.spec import (
+    MachineSpec,
+    NetworkSpec,
+    SUNWAY_CG,
+    SUNWAY_NETWORK,
+)
+from ..runtime.network import NetworkModel
+from .annealing import AnnealingResult, simulated_annealing
+from .perfmodel import PerformanceModel, TuningConfig
+
+__all__ = ["AutoTuner", "TuningResult"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one auto-tuning run."""
+
+    best: TuningConfig
+    best_time: float
+    initial_time: float
+    model_r2: float
+    annealing: AnnealingResult
+    samples: int
+
+    @property
+    def improvement(self) -> float:
+        return self.initial_time / self.best_time
+
+    @property
+    def history(self) -> List[Tuple[int, float]]:
+        return self.annealing.history
+
+
+def _pow2_candidates(extent: int, cap: int = 512) -> List[int]:
+    out = []
+    v = 1
+    while v <= min(extent, cap):
+        out.append(v)
+        v *= 2
+    return out
+
+
+def _grid_candidates(nprocs: int, ndim: int,
+                     global_shape: Sequence[int]) -> List[Tuple[int, ...]]:
+    """All factorizations of nprocs into ndim ordered factors that fit."""
+    grids: List[Tuple[int, ...]] = []
+
+    def rec(remaining: int, dims: List[int]) -> None:
+        if len(dims) == ndim - 1:
+            dims = dims + [remaining]
+            if all(g <= s for g, s in zip(dims, global_shape)):
+                grids.append(tuple(dims))
+            return
+        f = 1
+        while f <= remaining:
+            if remaining % f == 0:
+                rec(remaining // f, dims + [f])
+            f += 1
+
+    rec(nprocs, [])
+    return grids
+
+
+class AutoTuner:
+    """Tunes one stencil at one scale on one platform."""
+
+    def __init__(self, stencil: Stencil,
+                 global_shape: Sequence[int],
+                 nprocs: int,
+                 machine: MachineSpec = SUNWAY_CG,
+                 network: NetworkSpec = SUNWAY_NETWORK):
+        self.stencil = stencil
+        self.global_shape = tuple(int(s) for s in global_shape)
+        self.nprocs = int(nprocs)
+        self.machine = machine
+        self.network = NetworkModel(network)
+        self.radius = stencil.radius
+        self.elem = stencil.output.dtype.nbytes
+        self._grids = _grid_candidates(
+            self.nprocs, len(self.global_shape), self.global_shape
+        )
+        if not self._grids:
+            raise ValueError(
+                f"no valid MPI grid for {self.nprocs} processes over "
+                f"{self.global_shape}"
+            )
+
+    # -- the measured objective ------------------------------------------------------
+    def measure(self, config: TuningConfig) -> float:
+        """Per-timestep time (s) of one configuration (analytical).
+
+        kernel time: DMA-staged tile streaming on the machine;
+        comm time: async halo exchange on the network (pack/unpack is
+        charged at memory bandwidth); plus a fixed MPI progress cost.
+        """
+        sub = tuple(
+            -(-s // g) for s, g in zip(self.global_shape, config.mpi_grid)
+        )
+        tile = tuple(min(t, s) for t, s in zip(config.tile, sub))
+        m = self.machine
+        interior = 1
+        padded = 1
+        ntiles = 1
+        for s, t, r in zip(sub, tile, self.radius):
+            interior *= t
+            padded *= t + 2 * r
+            ntiles *= -(-s // t)
+        sweeps = len(self.stencil.applications)
+        elem = self.elem
+        # SPM capacity (single-plane staging per sweep): infeasible
+        # tiles get an infinite time
+        if m.cacheless:
+            spm_need = (padded + interior) * elem
+            if spm_need > m.spm_bytes:
+                return float("inf")
+        cores = m.cores_per_node
+        tiles_per_core = -(-ntiles // cores)
+        bw_core = m.mem_bw_GBs * m.stream_efficiency * 1e9 / cores
+        dma_per_visit = (
+            2 * m.dma_startup_us * 1e-6
+            + (padded + interior) * elem / bw_core
+        )
+        flops_pp = stencil_flops_per_point(self.stencil)
+        compute_per_visit = interior * flops_pp / sweeps / (
+            m.core_gflops() * m.scalar_flop_efficiency * 1e9
+        )
+        kernel_time = (
+            sweeps * tiles_per_core * (dma_per_visit + compute_per_visit)
+        )
+
+        halo_bytes = halo_traffic_bytes(self.stencil, sub)
+        comm = self.network.exchange_time_s(
+            config.nprocs, halo_bytes, len(sub)
+        )
+        pack = 2.0 * halo_bytes / (m.mem_bw_GBs * 1e9)
+        mpi_setup = 2e-6
+        return kernel_time + comm + pack + mpi_setup
+
+    # -- search space -----------------------------------------------------------
+    def axes(self) -> List[List]:
+        ndim = len(self.global_shape)
+        tile_axes: List[List] = []
+        max_sub = [
+            max(-(-s // g[d]) for g in self._grids)
+            for d, s in enumerate(self.global_shape)
+        ]
+        for d in range(ndim):
+            tile_axes.append(_pow2_candidates(max_sub[d]))
+        return tile_axes + [self._grids]
+
+    @staticmethod
+    def _to_config(*values) -> TuningConfig:
+        *tile, grid = values
+        return TuningConfig(tuple(tile), tuple(grid))
+
+    # -- tuning ---------------------------------------------------------------------
+    def tune(self, iterations: int = 20000, seed: int = 0,
+             n_samples: int = 60) -> TuningResult:
+        """Full pipeline: sample → fit → anneal → re-measure."""
+        rng = random.Random(seed)
+        axes = self.axes()
+
+        samples: List[TuningConfig] = []
+        times: List[float] = []
+        attempts = 0
+        while len(samples) < n_samples and attempts < 50 * n_samples:
+            attempts += 1
+            values = [ax[rng.randrange(len(ax))] for ax in axes]
+            cfg = self._to_config(*values)
+            t = self.measure(cfg)
+            if t == float("inf"):
+                continue
+            samples.append(cfg)
+            times.append(t)
+        if len(samples) < len(PerformanceModel.FEATURE_NAMES):
+            raise RuntimeError(
+                "could not sample enough feasible configurations; the "
+                "tuning space is over-constrained"
+            )
+        model = PerformanceModel(self.global_shape, self.radius, self.elem)
+        model.fit(samples, times)
+        r2 = model.score(samples, times)
+
+        def energy(*values) -> float:
+            cfg = self._to_config(*values)
+            measured_guard = self.measure(cfg)
+            if measured_guard == float("inf"):
+                return 1e9  # infeasible (SPM overflow)
+            return model.predict(cfg)
+
+        # start the search from the best measured sample (keeps the
+        # convergence trajectory finite and monotone from step 0)
+        best_sample = samples[times.index(min(times))]
+        start = []
+        for d, ax in enumerate(axes[:-1]):
+            value = best_sample.tile[d]
+            start.append(ax.index(value) if value in ax else 0)
+        start.append(axes[-1].index(best_sample.mpi_grid)
+                     if best_sample.mpi_grid in axes[-1] else 0)
+        result = simulated_annealing(
+            axes, energy, iterations=iterations, seed=seed,
+            initial_state=tuple(start),
+        )
+        best_cfg = self._to_config(
+            *(ax[idx] for ax, idx in zip(axes, result.best_state))
+        )
+        best_time = self.measure(best_cfg)
+        initial_time = sum(times) / len(times)
+        return TuningResult(
+            best=best_cfg,
+            best_time=best_time,
+            initial_time=initial_time,
+            model_r2=r2,
+            annealing=result,
+            samples=len(samples),
+        )

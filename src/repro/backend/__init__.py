@@ -1,0 +1,35 @@
+"""Code generation backends (Sec. 3: the MSC backend).
+
+AOT generation of standard C plus Makefiles for the ``cpu``, ``matrix``
+(OpenMP) and ``sunway`` (athread master/slave) targets, and the
+executable numpy backend used to run and verify schedules in-process.
+"""
+
+from .c_codegen import CCodeGenerator, GeneratedCode, render_expr_c
+from .sunway import SunwayCodeGenerator, generate_sunway
+from .makefile import generate_makefile, TOOLCHAINS
+from .targets import generate, KNOWN_TARGETS
+from .temporal_exec import TemporalTilingExecutor
+from .pipeline_exec import PipelineExecutor, distributed_pipeline_run
+from .pipeline_codegen import PipelineCodeGenerator, generate_pipeline
+from .mpi_codegen import MPICodeGenerator, generate_mpi, COMM_HEADER, COMM_SOURCE
+from .numpy_backend import (
+    BOUNDARY_CONDITIONS,
+    ScheduledExecutor,
+    evaluate_kernel,
+    fill_halo,
+    reference_run,
+)
+
+__all__ = [
+    "CCodeGenerator", "GeneratedCode", "render_expr_c",
+    "SunwayCodeGenerator", "generate_sunway",
+    "generate_makefile", "TOOLCHAINS",
+    "generate", "KNOWN_TARGETS",
+    "BOUNDARY_CONDITIONS", "ScheduledExecutor", "evaluate_kernel",
+    "fill_halo", "reference_run",
+    "TemporalTilingExecutor",
+    "PipelineExecutor", "distributed_pipeline_run",
+    "PipelineCodeGenerator", "generate_pipeline",
+    "MPICodeGenerator", "generate_mpi", "COMM_HEADER", "COMM_SOURCE",
+]

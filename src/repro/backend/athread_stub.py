@@ -1,0 +1,79 @@
+"""Single-CG athread stub for testing generated Sunway bundles.
+
+sw5cc only exists on TaihuLight, so generated athread bundles ship
+``msc_athread_stub.h``: a sequential implementation of the athread
+subset the generated code uses, selected with ``-DMSC_ATHREAD_STUB``.
+``athread_spawn`` runs the slave function once per virtual CPE
+(``athread_get_id`` reporting 0..N-1), and ``athread_get``/``put``
+become synchronous copies — so the *complete* generated structure
+(SPM staging, round-robin tile mapping, DMA placement, reply counters)
+executes on a plain CPU and its output can be compared against the
+reference bit-for-bit.
+
+The translation unit that owns the spawn loop (the master) must define
+``MSC_ATHREAD_STUB_PRIMARY`` before including the header so the shared
+CPE-id variable is defined exactly once.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ATHREAD_STUB_HEADER"]
+
+ATHREAD_STUB_HEADER = """\
+/* msc_athread_stub.h — sequential athread subset (-DMSC_ATHREAD_STUB).
+ *
+ * Supports what MSC-generated master/slave code uses: init/halt,
+ * spawn/join (spawn runs the slave body once per virtual CPE),
+ * athread_get_id, and synchronous athread_get/athread_put with reply
+ * counters.  One translation unit defines MSC_ATHREAD_STUB_PRIMARY to
+ * own the shared CPE-id variable.
+ */
+#ifndef MSC_ATHREAD_STUB_H
+#define MSC_ATHREAD_STUB_H
+#include <string.h>
+
+#define __thread_local
+#define PE_MODE 0
+
+#ifdef MSC_ATHREAD_STUB_PRIMARY
+int msc_cpe_current = 0;
+#else
+extern int msc_cpe_current;
+#endif
+
+static int athread_init(void) { return 0; }
+static int athread_halt(void) { return 0; }
+static int athread_join(void) { return 0; }
+
+static int athread_get_id(int dummy) {
+  (void)dummy;
+  return msc_cpe_current;
+}
+
+static int athread_get(int mode, void *src, void *dst, long len,
+                       void *reply, int r0, int r1, int r2) {
+  (void)mode; (void)r0; (void)r1; (void)r2;
+  memcpy(dst, src, (size_t)len);
+  (*(volatile int *)reply)++;
+  return 0;
+}
+
+static int athread_put(int mode, void *src, void *dst, long len,
+                       void *reply, int r0, int r1) {
+  (void)mode; (void)r0; (void)r1;
+  memcpy(dst, src, (size_t)len);
+  (*(volatile int *)reply)++;
+  return 0;
+}
+
+/* spawn: run the slave entry once per virtual CPE, sequentially */
+#define athread_spawn(f, arg) \\
+  do { \\
+    for (msc_cpe_current = 0; msc_cpe_current < MSC_NUM_CPES; \\
+         msc_cpe_current++) \\
+      slave_##f(arg); \\
+    msc_cpe_current = 0; \\
+  } while (0)
+
+#endif /* MSC_ATHREAD_STUB_H */
+"""

@@ -1,0 +1,59 @@
+"""Target dispatch: generate a complete code bundle for a named target.
+
+``generate(stencil, schedules, name, target)`` is the single entry the
+frontend's ``compile_to_source_code`` calls.  Targets:
+
+- ``"cpu"``    — portable C + OpenMP (compilable here with gcc),
+- ``"matrix"`` — same program shape, Matrix toolchain flags,
+- ``"sunway"`` — athread master/slave bundle (structural validation
+  only; sw5cc is not available off-platform).
+
+Every bundle includes its Makefile.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..ir.stencil import Stencil
+from ..schedule.schedule import Schedule
+from .c_codegen import CCodeGenerator, GeneratedCode
+from .makefile import generate_makefile
+from .sunway import SunwayCodeGenerator
+
+__all__ = ["generate", "KNOWN_TARGETS"]
+
+KNOWN_TARGETS = ("cpu", "matrix", "sunway", "mpi")
+
+
+def generate(stencil: Stencil, schedules: Mapping[str, Schedule],
+             name: str, target: str = "cpu", boundary: str = "zero",
+             use_mpi: bool = False,
+             nthreads: Optional[int] = None,
+             mpi_grid=None, scalars=None) -> GeneratedCode:
+    """Generate source + Makefile for ``target``."""
+    if target not in KNOWN_TARGETS:
+        raise ValueError(
+            f"unknown target {target!r}; known: {KNOWN_TARGETS}"
+        )
+    if target == "mpi":
+        from .mpi_codegen import generate_mpi
+
+        if mpi_grid is None:
+            raise ValueError(
+                "target 'mpi' needs an mpi_grid (set one on the program "
+                "or pass mpi_grid=...)"
+            )
+        return generate_mpi(stencil, schedules, name, mpi_grid, boundary)
+    if target == "sunway":
+        gen = SunwayCodeGenerator(stencil, schedules, boundary)
+        code = gen.generate(name)
+    else:
+        gen = CCodeGenerator(
+            stencil, schedules, boundary, use_openmp=True,
+            nthreads=nthreads, scalars=scalars,
+        )
+        code = gen.generate(name)
+        code.target = target
+    code.files["Makefile"] = generate_makefile(name, target, use_mpi)
+    return code

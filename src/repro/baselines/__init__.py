@@ -1,0 +1,28 @@
+"""Baseline system models for the Sec. 5 comparisons.
+
+Each baseline implements the execution strategy and the documented
+performance characteristics of the compared system: OpenACC on Sunway
+(Fig. 7), hand-tuned OpenMP on Matrix (Fig. 8), Halide JIT/AOT
+(Fig. 12), Patus (Fig. 13) and Physis (Fig. 14), plus the Table 6
+lines-of-code accounting.
+"""
+
+from .openacc import render_openacc_source, simulate_openacc_sunway
+from .openmp import simulate_openmp_matrix
+from .halide import simulate_halide_aot, simulate_halide_jit
+from .patus import simulate_patus
+from .physis import (
+    INTRA_NODE_NETWORK,
+    simulate_msc_hybrid,
+    simulate_physis,
+)
+from .loc import loc_comparison, loc_of, render_msc_source
+
+__all__ = [
+    "render_openacc_source", "simulate_openacc_sunway",
+    "simulate_openmp_matrix",
+    "simulate_halide_aot", "simulate_halide_jit",
+    "simulate_patus",
+    "INTRA_NODE_NETWORK", "simulate_msc_hybrid", "simulate_physis",
+    "loc_comparison", "loc_of", "render_msc_source",
+]

@@ -1,0 +1,169 @@
+"""OpenACC baseline on Sunway (Fig. 7).
+
+The paper's baseline uses the Sunway OpenACC compiler's directives
+(``acc copyin/copyout``, ``acc tile``, ``acc parallel``) — "similar
+optimization techniques as MSC, [but] they lack the fine-grained
+managements that adapt the stencil patterns to the Sunway architecture,
+especially on high-order stencils".
+
+Cost model: the OpenACC runtime stages data with generic copyin/copyout
+rather than per-tile halo-aware DMA, so
+
+- memory traffic moves at the *discrete global-load* efficiency of the
+  CG (``gld_efficiency`` of the spec, a few percent of DMA bandwidth)
+  rather than streaming DMA efficiency;
+- the generic staging cannot exploit the stencil's neighbourhood reuse
+  for wide stencils: a reuse-loss factor grows with the point count
+  (this is the "especially on high-order stencils" effect);
+- fp32 improves the discrete-access efficiency slightly more than 2×
+  (two 4-byte elements per transaction), which is why the paper's fp32
+  speedups are *smaller* than fp64 (20.7× vs 24.4×).
+
+It also emits the OpenACC-style C source (plain loops + directives) for
+the Table 6 LoC comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.stencil import Stencil
+from ..machine.report import TimingReport
+from ..machine.spec import SUNWAY_CG, MachineSpec
+from ..machine.sunway_sim import SunwaySimulator
+from ..schedule.schedule import Schedule
+
+__all__ = ["simulate_openacc_sunway", "render_openacc_source"]
+
+#: reuse lost per extra stencil point beyond a 7-point star (generic
+#: ``acc tile`` staging keeps re-fetching wide neighbourhoods; this is
+#: the "especially on high-order stencils" effect of Sec. 5.2.1)
+REUSE_LOSS_PER_POINT = 0.004
+#: fp32 discrete accesses pack two elements per transaction: efficiency
+#: boost relative to fp64 discrete accesses (this is why the paper's
+#: fp32 speedups, 20.7×, are smaller than the fp64 ones, 24.4×)
+FP32_GLD_BOOST = 1.18
+
+
+def simulate_openacc_sunway(stencil: Stencil, schedule: Schedule,
+                            timesteps: int = 1,
+                            machine: MachineSpec = SUNWAY_CG) -> TimingReport:
+    """Timing of the OpenACC-directive version on one CG.
+
+    The OpenACC code adopts the same tiling (``acc tile``) and thread
+    mapping (``acc parallel``) as MSC, so its traffic *structure*
+    matches the MSC schedule; the difference is the transport: generic
+    copyin/copyout staging issues discrete global loads/stores at
+    ``gld_efficiency`` of the memory bandwidth instead of MSC's
+    streaming DMA at ``stream_efficiency``, plus a reuse-loss factor
+    that grows with the stencil's point count.
+    """
+    msc = SunwaySimulator(machine).run(stencil, schedule, timesteps)
+    elem = stencil.output.dtype.nbytes
+    precision = "fp32" if elem == 4 else "fp64"
+    npoints = max(app.kernel.npoints for app in stencil.applications)
+
+    reuse_loss = 1.0 + REUSE_LOSS_PER_POINT * max(0, npoints - 7)
+    gld_eff = machine.gld_efficiency
+    if precision == "fp32":
+        gld_eff *= FP32_GLD_BOOST
+    transport_ratio = machine.stream_efficiency / gld_eff
+
+    return TimingReport(
+        machine=machine.name,
+        stencil=f"{stencil.output.name}-openacc",
+        precision=precision,
+        timesteps=timesteps,
+        compute_s=msc.compute_s,
+        memory_s=msc.memory_s * transport_ratio * reuse_loss,
+        flops_per_step=msc.flops_per_step,
+        details={"reuse_loss": reuse_loss, "gld_eff": gld_eff},
+    )
+
+
+def render_openacc_source(stencil: Stencil) -> str:
+    """The hand-written OpenACC C a domain expert would produce.
+
+    Plain nested loops with ``#pragma acc`` directives (data staging,
+    tiling, parallelisation) — the Table 6 'OpenACC' LoC column counts
+    these lines.
+    """
+    out = stencil.output
+    terms = stencil.combination_terms()
+    kern = stencil.kernels[0]
+    dims = [lv.name for lv in kern.loop_vars]
+    lines: List[str] = [
+        f"/* hand-written OpenACC implementation of {kern.name} */",
+        "#include <stdio.h>",
+        "#include <stdlib.h>",
+        f"typedef {out.dtype.c_name} real;",
+    ]
+    for nm, v in zip(["NZ", "NY", "NX"][-out.ndim:], out.shape):
+        lines.append(f"#define {nm} {v}")
+    for nm, v in zip(["HZ", "HY", "HX"][-out.ndim:], out.halo):
+        lines.append(f"#define {nm} {v}")
+    lines.append(f"#define TWIN {out.time_window}")
+    lines += [
+        "static real *win[TWIN];",
+        "static real *acc;",
+        "",
+        "void sweep(long t_read, real scale) {",
+        "  const real *in = win[((t_read % TWIN) + TWIN) % TWIN];",
+        "#pragma acc data copyin(in) copyout(acc)",
+        "#pragma acc parallel loop tile(*)",
+    ]
+    names = ["NZ", "NY", "NX"][-out.ndim:]
+    for d, v in enumerate(dims):
+        lines.append(
+            "  " * (d + 1)
+            + f"for (long {v} = 0; {v} < {names[d]}; {v}++)"
+        )
+    # one accumulation statement per stencil point (hand-expanded)
+    accs = stencil.kernels[0].accesses
+    indent = "  " * (out.ndim + 1)
+    lines.append(indent + "{ real v = 0;")
+    acc_terms = []
+    for idx, a in enumerate(accs):
+        subs = ",".join(
+            f"{ix.var.name}{ix.offset:+d}" if ix.offset else ix.var.name
+            for ix in a.indices
+        )
+        acc_terms.append(f"c{idx}*IN({subs})")
+    for pos in range(0, len(acc_terms), 4):
+        lines.append(
+            indent + "  v += " + " + ".join(acc_terms[pos:pos + 4]) + ";"
+        )
+    centre = ", ".join(dims)
+    lines.append(indent + f"  ACC({centre}) += scale * v; }}")
+    lines += [
+        "}",
+        "",
+        "int main(int argc, char **argv) {",
+        "  if (argc != 4) { usage(argv[0]); return 2; }",
+        "  long steps = strtol(argv[2], NULL, 10);",
+        "  for (int w = 0; w < TWIN; w++)",
+        "    win[w] = (real *)malloc(PLANE_BYTES);",
+        "  acc = (real *)malloc(VALID_BYTES);",
+        "  if (!acc) { perror(\"alloc\"); return 1; }",
+        "  load(argv[1]);",
+        "  double t0 = wtime();",
+        f"  for (long t = {stencil.required_time_window - 1}; "
+        "t < steps; t++) {",
+    ]
+    for scale, app in terms:
+        lines.append(
+            f"    sweep(t - {-app.time_offset}, (real){scale!r});"
+        )
+    lines += [
+        "    commit(t);",
+        "  }",
+        "  double elapsed = wtime() - t0;",
+        '  printf("elapsed %.6f s (%.2f GFlops)\\n", elapsed,'
+        " gflops(steps, elapsed));",
+        "  store(argv[3]);",
+        "  for (int w = 0; w < TWIN; w++) free(win[w]);",
+        "  free(acc);",
+        "  return 0;",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,58 @@
+"""Patus baseline on the CPU server (Fig. 13).
+
+"Patus applies aggressive SIMD vectorization with SSE intrinsics, which
+leads to more unaligned memory accesses and thus exacerbates the
+memory-bound problem.  In addition, the 3D star stencils [of high
+order] suffer more from discrete memory accesses."  MSC's average
+speedup over Patus is 5.94×.
+
+Cost model: the MSC CPU memory term divided by an unaligned-SSE
+bandwidth efficiency, with an additional discrete-access penalty that
+grows with the number of distinct row-streams a 3D star of radius r
+touches (each misaligned 128-bit load splits across cache lines).
+"""
+
+from __future__ import annotations
+
+from ..ir.analysis import classify_shape
+from ..ir.stencil import Stencil
+from ..machine.matrix_sim import CacheMachineSimulator
+from ..machine.report import TimingReport
+from ..machine.spec import CPU_E5_2680V4, MachineSpec
+from ..schedule.schedule import Schedule
+
+__all__ = ["simulate_patus"]
+
+#: bandwidth efficiency of unaligned SSE streams vs aligned AVX2
+UNALIGNED_SSE_EFFICIENCY = 0.195
+#: extra penalty per distinct non-contiguous ray of a 3D star stencil
+DISCRETE_RAY_PENALTY = 0.028
+
+
+def simulate_patus(stencil: Stencil, schedule: Schedule,
+                   timesteps: int = 1,
+                   machine: MachineSpec = CPU_E5_2680V4) -> TimingReport:
+    """Timing of the Patus-generated kernel (OpenMP threads)."""
+    base = CacheMachineSimulator(machine).run(stencil, schedule, timesteps)
+    out = stencil.output
+    kern = stencil.kernels[0]
+    npoints = max(a.kernel.npoints for a in stencil.applications)
+
+    penalty = 1.0 / UNALIGNED_SSE_EFFICIENCY
+    if out.ndim == 3 and classify_shape(kern) == "star":
+        # rays = points not on the unit-stride axis
+        radius_i = kern.radius[-1]
+        rays = npoints - 2 * radius_i - 1
+        penalty *= 1.0 + DISCRETE_RAY_PENALTY * rays
+
+    # SSE (128-bit) halves the vector width of AVX2: compute term doubles
+    return TimingReport(
+        machine=machine.name,
+        stencil=f"{out.name}-patus",
+        precision=base.precision,
+        timesteps=timesteps,
+        compute_s=base.compute_s * 2.0,
+        memory_s=base.memory_s * penalty,
+        flops_per_step=base.flops_per_step,
+        details={"unaligned_penalty": penalty},
+    )

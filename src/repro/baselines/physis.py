@@ -1,0 +1,138 @@
+"""Physis baseline on the CPU server (Fig. 14, Table 8).
+
+"In Physis, the halo exchange relies on the RPC runtime that
+coordinates the communication among all processes with a master
+process, which soon becomes the bottleneck as the amount of halo
+exchange increases."  MSC's average speedup is 9.88×, largest on
+high-order stencils.
+
+Cost model: both systems compute at the same node rate (Physis's
+kernels are fine); the difference is communication.  MSC's async
+exchange costs one latency per phase plus the per-process halo volume
+at link bandwidth; Physis's master-relayed exchange serialises *every*
+message through rank 0: the master must receive and re-send the whole
+run's halo volume each step, so its cost is
+``2 × nprocs × halo_bytes / link_bw + 2 × nprocs × messages × latency``.
+
+Physis also runs MPI-everywhere (no OpenMP hybrid — "Physis does not
+support hybrid parallelism"), so its process count is the full core
+count and its per-process sub-domains are the smallest, maximising the
+relayed volume.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..ir.analysis import halo_traffic_bytes, stencil_flops_per_point
+from ..ir.stencil import Stencil
+from ..machine.report import TimingReport
+from ..machine.spec import CPU_E5_2680V4, MachineSpec, NetworkSpec
+
+__all__ = ["simulate_physis", "simulate_msc_hybrid", "INTRA_NODE_NETWORK"]
+
+#: intra-node "network" (shared-memory MPI transport on the CPU server)
+INTRA_NODE_NETWORK = NetworkSpec(
+    name="intra-node",
+    latency_us=0.8,
+    link_bw_GBs=5.0,
+    bisection_GBs=60.0,
+    topology="shared-memory",
+)
+
+#: effective throughput of Physis's RPC-coordinated relay: every strip
+#: is marshalled, sent to the master process, copied, and re-sent —
+#: orders of magnitude below the raw transport (this serialisation is
+#: the Sec. 5.5 bottleneck)
+RPC_RELAY_BW_GBs = 0.16
+
+
+def _sub_shape(global_shape: Sequence[int],
+               grid: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(-(-s // g) for s, g in zip(global_shape, grid))
+
+
+def _node_compute_s(stencil: Stencil, global_shape: Sequence[int],
+                    machine: MachineSpec) -> Tuple[float, float]:
+    n = 1
+    for s in global_shape:
+        n *= s
+    elem = stencil.output.dtype.nbytes
+    planes = len(stencil.applications)
+    traffic = n * elem * (planes + 2.0)
+    bw = machine.mem_bw_GBs * machine.stream_efficiency * 1e9
+    flops = float(n * stencil_flops_per_point(stencil))
+    peak = machine.peak_gflops * 0.9 * 1e9
+    return traffic / bw + flops / peak, flops
+
+
+def simulate_physis(stencil: Stencil, global_shape: Sequence[int],
+                    grid: Sequence[int], timesteps: int = 1,
+                    machine: MachineSpec = CPU_E5_2680V4,
+                    network: NetworkSpec = INTRA_NODE_NETWORK) -> TimingReport:
+    """Physis: MPI-everywhere with master-coordinated halo exchange."""
+    nprocs = 1
+    for g in grid:
+        nprocs *= g
+    compute_s, flops = _node_compute_s(stencil, global_shape, machine)
+    sub = _sub_shape(global_shape, grid)
+    halo_bytes = halo_traffic_bytes(stencil, sub)
+    messages = 2 * len(sub)
+    # every byte crosses the master twice (in and out), serialised at
+    # the RPC runtime's marshalling throughput
+    relay_s = (
+        2.0 * nprocs * halo_bytes / (RPC_RELAY_BW_GBs * 1e9)
+        + 2.0 * nprocs * messages * network.latency_us * 1e-6
+    )
+    return TimingReport(
+        machine=machine.name,
+        stencil=f"{stencil.output.name}-physis",
+        precision="fp32" if stencil.output.dtype.nbytes == 4 else "fp64",
+        timesteps=timesteps,
+        compute_s=compute_s,
+        memory_s=relay_s,
+        flops_per_step=flops,
+        details={
+            "halo_bytes_per_proc": float(halo_bytes),
+            "nprocs": float(nprocs),
+        },
+    )
+
+
+def simulate_msc_hybrid(stencil: Stencil, global_shape: Sequence[int],
+                        grid: Sequence[int], omp_threads: int,
+                        timesteps: int = 1,
+                        machine: MachineSpec = CPU_E5_2680V4,
+                        network: NetworkSpec = INTRA_NODE_NETWORK) -> TimingReport:
+    """MSC with MPI+OpenMP hybrid parallelism (Table 8 configs)."""
+    nprocs = 1
+    for g in grid:
+        nprocs *= g
+    if nprocs * omp_threads > machine.cores_per_node:
+        raise ValueError(
+            f"{nprocs} ranks × {omp_threads} threads exceed "
+            f"{machine.cores_per_node} cores"
+        )
+    compute_s, flops = _node_compute_s(stencil, global_shape, machine)
+    sub = _sub_shape(global_shape, grid)
+    halo_bytes = halo_traffic_bytes(stencil, sub)
+    phases = len(sub)
+    async_s = (
+        phases * network.latency_us * 1e-6
+        + halo_bytes / (network.link_bw_GBs * 1e9)
+    )
+    congestion = nprocs * halo_bytes / (network.bisection_GBs * 1e9)
+    comm_s = max(async_s, congestion)
+    return TimingReport(
+        machine=machine.name,
+        stencil=f"{stencil.output.name}-msc-hybrid",
+        precision="fp32" if stencil.output.dtype.nbytes == 4 else "fp64",
+        timesteps=timesteps,
+        compute_s=compute_s,
+        memory_s=comm_s,
+        flops_per_step=flops,
+        details={
+            "halo_bytes_per_proc": float(halo_bytes),
+            "nprocs": float(nprocs),
+        },
+    )

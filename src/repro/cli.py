@@ -1,0 +1,335 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``compile FILE.msc --target {cpu,matrix,sunway} -o DIR`` — parse a
+  textual MSC program and write the AOT C bundle + Makefile;
+- ``run FILE.msc --steps N`` — parse and execute (distributed when the
+  program declares an MPI shape), printing a result checksum;
+- ``simulate BENCH --machine {sunway,matrix,cpu}`` — timing report for
+  a Table-4 benchmark under its Table-5 schedule;
+- ``tune BENCH --nprocs N`` — run the auto-tuner;
+- ``report EXPERIMENT`` — regenerate one table/figure of the paper;
+- ``list`` — list the Table-4 benchmarks and report names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_REPORTS = (
+    "table3", "table4", "table6", "fig7", "fig8", "fig9",
+    "fig10", "fig12", "fig13", "fig14",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MSC stencil DSL (ICPP'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="AOT-compile a .msc program")
+    p.add_argument("file", help="MSC source file")
+    p.add_argument("--target", default="cpu",
+                   choices=["cpu", "matrix", "sunway", "mpi"])
+    p.add_argument("-o", "--output", default=".",
+                   help="directory for the generated bundle")
+    p.add_argument("--name", default=None, help="bundle name stem")
+
+    p = sub.add_parser("run", help="execute a .msc program")
+    p.add_argument("file")
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="save result as .npy")
+    p.add_argument("--serial", action="store_true",
+                   help="ignore the program's MPI shape")
+    p.add_argument("--scalar", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="bind a runtime scalar coefficient (repeatable)")
+
+    p = sub.add_parser("simulate", help="timing report for a benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--machine", default="sunway",
+                   choices=["sunway", "matrix", "cpu"])
+    p.add_argument("--precision", default="fp64",
+                   choices=["fp64", "fp32"])
+    p.add_argument("--timesteps", type=int, default=1)
+
+    p = sub.add_parser("tune", help="auto-tune a benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--nprocs", type=int, default=128)
+    p.add_argument("--shape", default=None,
+                   help="comma-separated global shape")
+    p.add_argument("--iterations", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("verify", help="Sec. 5.1 correctness check")
+    p.add_argument("benchmark")
+    p.add_argument("--precision", default="fp64",
+                   choices=["fp64", "fp32"])
+    p.add_argument("--timesteps", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("report", help="regenerate a paper artefact")
+    p.add_argument("experiment", choices=list(_REPORTS))
+
+    sub.add_parser("list", help="list benchmarks and reports")
+    return parser
+
+
+def _cmd_compile(args) -> int:
+    from .frontend.lang import parse_program
+
+    with open(args.file) as fh:
+        parsed = parse_program(fh.read())
+    name = args.name or parsed.stencil_name
+    code = parsed.program.compile_to_source_code(name, target=args.target)
+    paths = code.write_to(args.output)
+    print(f"generated {len(paths)} files for target {args.target!r}:")
+    for path in paths:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .frontend.lang import parse_program
+
+    with open(args.file) as fh:
+        parsed = parse_program(fh.read())
+    if parsed.pipeline is not None:
+        return _run_pipeline(args, parsed)
+    program = parsed.program
+    if args.serial:
+        program.mpi_grid = None
+    for item in args.scalar:
+        name, _, value = item.partition("=")
+        if not value:
+            print(f"error: --scalar expects NAME=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 1
+        program.set_scalar(name, float(value))
+    tensor = program.ir.output
+    rng = np.random.default_rng(args.seed)
+    need = program.ir.required_time_window - 1
+    program.set_initial([
+        rng.random(tensor.shape).astype(tensor.dtype.np_dtype)
+        for _ in range(need)
+    ])
+    mode = (
+        f"distributed over {program.mpi_grid}"
+        if program.mpi_grid and int(np.prod(program.mpi_grid)) > 1
+        else "single-node"
+    )
+    print(f"running {parsed.stencil_name!r}: grid {tensor.shape}, "
+          f"{args.steps} steps, {mode}")
+    result = program.run(timesteps=args.steps)
+    print(f"result: mean={result.mean():.6e} "
+          f"l2={np.linalg.norm(result):.6e}")
+    if args.out:
+        np.save(args.out, result)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _run_pipeline(args, parsed) -> int:
+    from .backend.pipeline_exec import (
+        PipelineExecutor,
+        distributed_pipeline_run,
+    )
+
+    pipe = parsed.pipeline
+    rng = np.random.default_rng(args.seed)
+    seeds = {
+        name: [rng.random(pipe.shape) for _ in range(k)]
+        for name, k in pipe.required_history().items()
+        if k > 0
+    }
+    grid = None if args.serial else parsed.mpi_grid
+    if grid is not None and int(np.prod(grid)) > 1:
+        print(f"running pipeline {pipe!r}: {args.steps} steps, "
+              f"distributed over {grid}")
+        results = distributed_pipeline_run(
+            pipe, seeds, args.steps, grid
+        )
+    else:
+        print(f"running pipeline {pipe!r}: {args.steps} steps, "
+              "single-node")
+        results = PipelineExecutor(pipe).run(seeds, args.steps)
+    for name, arr in results.items():
+        print(f"  {name}: mean={arr.mean():.6e} "
+              f"l2={np.linalg.norm(arr):.6e}")
+    if args.out:
+        np.savez(args.out, **results)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .evalsuite.harness import build_with_schedule
+    from .ir.dtypes import f32, f64
+
+    dtype = f32 if args.precision == "fp32" else f64
+    target = args.machine if args.machine != "cpu" else "cpu"
+    prog, handle = build_with_schedule(args.benchmark, target, dtype)
+    report = prog.simulate(args.machine, timesteps=args.timesteps)
+    print(f"{args.benchmark} on {report.machine} ({report.precision}):")
+    print(f"  per-step: {report.step_s * 1e3:.3f} ms "
+          f"(memory {report.memory_s * 1e3:.3f} ms, "
+          f"compute {report.compute_s * 1e3:.3f} ms)")
+    print(f"  achieved: {report.gflops:.1f} GFlops")
+    for key, val in sorted(report.details.items()):
+        print(f"  {key}: {val:.4g}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .autotune import AutoTuner
+    from .frontend.stencils import benchmark_by_name
+
+    bench = benchmark_by_name(args.benchmark)
+    if args.shape:
+        shape = tuple(int(s) for s in args.shape.split(","))
+    else:
+        shape = bench.default_grid
+    prog, _ = bench.build(grid=shape)
+    tuner = AutoTuner(prog.ir, shape, nprocs=args.nprocs)
+    result = tuner.tune(iterations=args.iterations, seed=args.seed)
+    print(f"tuned {args.benchmark} over {shape} on {args.nprocs} CGs:")
+    print(f"  best tiles {result.best.tile}, "
+          f"MPI grid {result.best.mpi_grid}")
+    print(f"  step time {result.best_time * 1e3:.3f} ms, "
+          f"improvement {result.improvement:.2f}x, "
+          f"R^2 {result.model_r2:.3f}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .evalsuite.verify import verify_benchmark
+    from .ir.dtypes import f32, f64
+
+    dtype = f32 if args.precision == "fp32" else f64
+    results = verify_benchmark(
+        args.benchmark, dtype=dtype, timesteps=args.timesteps,
+        seed=args.seed,
+    )
+    print(f"{args.benchmark} ({args.precision}, tolerance "
+          f"{dtype.tolerance:g}):")
+    failed = False
+    for r in results:
+        if not r.ran:
+            print(f"  {r.path:24s} SKIPPED ({r.note})")
+            continue
+        status = "PASS" if r.passed else "FAIL"
+        failed |= not r.passed
+        print(f"  {r.path:24s} rel. err = {r.rel_error:.3e}  {status}")
+    return 1 if failed else 0
+
+
+def _cmd_report(args) -> int:
+    from .evalsuite import (
+        fig7_rows, fig8_rows, fig9_points, fig10_curves, fig12_rows,
+        fig13_rows, fig14_rows, format_table, table3_rows, table4_rows,
+        table6_rows,
+    )
+
+    name = args.experiment
+    if name == "table3":
+        rows = [
+            {"platform": r["platform"], "processor": r["processor"]}
+            for r in table3_rows()
+        ]
+        print(format_table(rows, ["platform", "processor"], "Table 3"))
+    elif name == "table4":
+        print(format_table(
+            table4_rows(),
+            ["benchmark", "read_bytes", "write_bytes", "ops", "time_dep"],
+            "Table 4",
+        ))
+    elif name == "table6":
+        print(format_table(
+            table6_rows(), ["benchmark", "msc", "openacc", "openmp"],
+            "Table 6",
+        ))
+    elif name == "fig7":
+        print(format_table(
+            fig7_rows("fp64"), ["benchmark", "speedup"], "Fig. 7 (fp64)"
+        ))
+    elif name == "fig8":
+        print(format_table(
+            fig8_rows("fp64"), ["benchmark", "speedup"], "Fig. 8 (fp64)"
+        ))
+    elif name == "fig9":
+        rows = [
+            {"benchmark": p.name, "oi": p.operational_intensity,
+             "bound": p.bound}
+            for p in fig9_points("sunway")
+        ]
+        print(format_table(rows, ["benchmark", "oi", "bound"],
+                           "Fig. 9 (Sunway)"))
+    elif name == "fig10":
+        for mode in ("strong", "weak"):
+            curves = fig10_curves("sunway", mode,
+                                  benchmarks=["3d7pt_star"])
+            pts = curves["3d7pt_star"]
+            print(f"Fig. 10 sunway {mode} 3d7pt_star: "
+                  + " ".join(f"{p.cores}c={p.gflops:.0f}GF" for p in pts))
+    elif name == "fig12":
+        print(format_table(
+            fig12_rows(), ["benchmark", "speedup_msc", "speedup_aot"],
+            "Fig. 12",
+        ))
+    elif name == "fig13":
+        print(format_table(
+            fig13_rows(), ["benchmark", "speedup"], "Fig. 13"
+        ))
+    elif name == "fig14":
+        print(format_table(
+            fig14_rows(), ["benchmark", "speedup"], "Fig. 14"
+        ))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from .frontend.stencils import ALL_BENCHMARKS
+
+    print("Table-4 benchmarks:")
+    for bench in ALL_BENCHMARKS:
+        print(f"  {bench.name:14s} {bench.ndim}D {bench.shape:4s} "
+              f"radius {bench.radius}, {bench.points} points")
+    print("reports:", ", ".join(_REPORTS))
+    return 0
+
+
+_COMMANDS = {
+    "compile": _cmd_compile,
+    "run": _cmd_run,
+    "simulate": _cmd_simulate,
+    "tune": _cmd_tune,
+    "verify": _cmd_verify,
+    "report": _cmd_report,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The MSC communication library (Sec. 4.4).
+
+Domain decomposition, halo-region geometry, message packing, and the
+asynchronous halo-exchange protocol — exposed through a pluggable
+registry so alternative exchangers (e.g. the Physis-style
+master-coordinated strategy) can be swapped in without touching the
+code generator.
+"""
+
+from .decomposition import SubDomain, decompose, owner_of, suggest_grid
+from .halo import HaloSpec, Region, halo_regions, partition_regions
+from .packing import BufferPool, pack, unpack
+from .exchange import (
+    AsyncHaloExchanger,
+    HaloExchanger,
+    MasterCoordinatedExchanger,
+)
+from .library import (
+    available_exchangers,
+    create_exchanger,
+    get_exchanger,
+    register_exchanger,
+)
+
+__all__ = [
+    "SubDomain", "decompose", "owner_of", "suggest_grid",
+    "HaloSpec", "Region", "halo_regions", "partition_regions",
+    "BufferPool", "pack", "unpack",
+    "AsyncHaloExchanger", "HaloExchanger", "MasterCoordinatedExchanger",
+    "available_exchangers", "create_exchanger", "get_exchanger",
+    "register_exchanger",
+]

@@ -1,0 +1,132 @@
+"""Domain decomposition (Fig. 6a).
+
+The input tensor is decomposed evenly among the MPI processes; each
+sub-tensor goes to one process, identified by its Cartesian coordinates.
+Uneven extents are balanced to within one point (the first
+``extent % grid`` processes along a dimension get the extra point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["SubDomain", "decompose", "suggest_grid", "owner_of"]
+
+
+@dataclass(frozen=True)
+class SubDomain:
+    """One process's share of the global domain.
+
+    ``lo``/``hi`` are per-dimension half-open bounds in *global* valid
+    coordinates.
+    """
+
+    rank: int
+    coords: Tuple[int, ...]
+    lo: Tuple[int, ...]
+    hi: Tuple[int, ...]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def npoints(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def slices(self) -> Tuple[slice, ...]:
+        """Global-array slices selecting this sub-domain."""
+        return tuple(slice(l, h) for l, h in zip(self.lo, self.hi))
+
+
+def _split(extent: int, parts: int) -> List[Tuple[int, int]]:
+    """Balanced half-open intervals covering [0, extent)."""
+    base, extra = divmod(extent, parts)
+    bounds = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def decompose(global_shape: Sequence[int],
+              grid: Sequence[int]) -> List[SubDomain]:
+    """Decompose ``global_shape`` over a process ``grid``.
+
+    Returns one :class:`SubDomain` per rank, in rank order (row-major
+    over the grid, matching the Cartesian communicator).
+    """
+    if len(global_shape) != len(grid):
+        raise ValueError(
+            f"grid rank {len(grid)} does not match domain rank "
+            f"{len(global_shape)}"
+        )
+    for s, g in zip(global_shape, grid):
+        if g < 1:
+            raise ValueError(f"process grid extents must be >= 1, got {g}")
+        if g > s:
+            raise ValueError(
+                f"cannot split extent {s} over {g} processes"
+            )
+    per_dim = [_split(s, g) for s, g in zip(global_shape, grid)]
+    subdomains: List[SubDomain] = []
+    ndim = len(grid)
+
+    def rec(dim: int, coords: List[int]) -> None:
+        if dim == ndim:
+            rank = 0
+            for c, g in zip(coords, grid):
+                rank = rank * g + c
+            lo = tuple(per_dim[d][coords[d]][0] for d in range(ndim))
+            hi = tuple(per_dim[d][coords[d]][1] for d in range(ndim))
+            subdomains.append(SubDomain(rank, tuple(coords), lo, hi))
+            return
+        for c in range(grid[dim]):
+            rec(dim + 1, coords + [c])
+
+    rec(0, [])
+    subdomains.sort(key=lambda s: s.rank)
+    return subdomains
+
+
+def owner_of(point: Sequence[int], subdomains: Sequence[SubDomain]) -> int:
+    """Rank owning a global point (linear scan; for tests/debug)."""
+    for sd in subdomains:
+        if all(l <= p < h for p, l, h in zip(point, sd.lo, sd.hi)):
+            return sd.rank
+    raise ValueError(f"point {tuple(point)} outside the global domain")
+
+
+def suggest_grid(nprocs: int, ndim: int,
+                 global_shape: Sequence[int] = None) -> Tuple[int, ...]:
+    """A near-cubic process grid for ``nprocs`` ranks.
+
+    Greedy largest-factor-first assignment to the largest remaining
+    domain extent (or uniformly if no shape given) — the default the
+    auto-tuner starts from.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    factors: List[int] = []
+    n = nprocs
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    grid = [1] * ndim
+    sizes = list(global_shape) if global_shape else [1] * ndim
+    for fac in sorted(factors, reverse=True):
+        # place on the dimension with the largest per-process extent
+        d = max(range(ndim), key=lambda dd: sizes[dd] / grid[dd])
+        grid[d] *= fac
+    return tuple(grid)

@@ -1,0 +1,193 @@
+"""Asynchronous halo exchange (Fig. 6b/6c).
+
+For every spatial dimension in order, each process packs its inner-halo
+strip, posts ``Irecv``/``Isend`` with both neighbours, waits, and
+unpacks into the outer halo.  All processes exchange concurrently
+(Fig. 6b: "all MPI processes are exchanging the halo region
+asynchronously"); the dimension phases give box stencils their corner
+data with only two messages per dimension.
+
+At non-periodic global boundaries a process has no neighbour on a side;
+those ghost strips are filled by the boundary condition instead
+(zero/reflect), handled by the caller's plane fill.
+
+Two exchanger strategies are provided:
+
+- :class:`AsyncHaloExchanger` — MSC's library (this paper);
+- :class:`MasterCoordinatedExchanger` — the Physis-style comparison
+  strategy where every message is relayed through a master rank, the
+  bottleneck discussed in Sec. 5.5 (used by the baseline model *and*
+  runnable here for functional demonstration).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..runtime.simmpi import CartComm, Request
+from .halo import HaloSpec, Region, halo_regions
+from .packing import BufferPool, pack, unpack
+
+__all__ = ["HaloExchanger", "AsyncHaloExchanger", "MasterCoordinatedExchanger"]
+
+_TAG_BASE = 4096
+
+
+class HaloExchanger:
+    """Common machinery: geometry, buffers, neighbour lookup."""
+
+    def __init__(self, comm: CartComm, spec: HaloSpec):
+        if len(spec.sub_shape) != len(comm.dims):
+            raise ValueError(
+                f"halo spec is {len(spec.sub_shape)}-D, cart grid is "
+                f"{len(comm.dims)}-D"
+            )
+        self.comm = comm
+        self.spec = spec
+        self.regions = halo_regions(spec)
+        self.pool = BufferPool()
+        #: messages sent / bytes moved by this process (for the tuner)
+        self.messages = 0
+        self.bytes_sent = 0
+
+    def _neighbour(self, region: Region) -> int:
+        src, dst = self.comm.Shift(region.dim, 1)
+        return dst if region.direction == +1 else src
+
+    def _tag(self, region: Region) -> int:
+        # receiving the +1 face means the sender sent its -1-direction
+        # strip: tags pair by (dim, sender's direction)
+        return _TAG_BASE + 2 * region.dim + (0 if region.direction > 0 else 1)
+
+    def exchange(self, plane: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class AsyncHaloExchanger(HaloExchanger):
+    """MSC's exchanger: concurrent Isend/Irecv per dimension phase."""
+
+    def exchange(self, plane: np.ndarray) -> None:
+        if plane.shape != self.spec.padded_shape:
+            raise ValueError(
+                f"plane shape {plane.shape} != padded shape "
+                f"{self.spec.padded_shape}"
+            )
+        ndim = len(self.spec.sub_shape)
+        for d in range(ndim):
+            phase = [r for r in self.regions if r.dim == d]
+            if not phase:
+                continue
+            recvs: List[Optional[Request]] = []
+            recv_bufs = []
+            for region in phase:
+                peer = self._neighbour(region)
+                if peer < 0:
+                    recvs.append(None)
+                    recv_bufs.append(None)
+                    continue
+                n = region.count(self.spec.padded_shape)
+                buf = self.pool.get(n, plane.dtype,
+                                    tag=f"recv-{d}-{region.direction}")
+                recv_bufs.append(buf)
+                recvs.append(
+                    self.comm.Irecv(buf, source=peer, tag=self._tag(region))
+                )
+            for region in phase:
+                peer = self._neighbour(region)
+                if peer < 0:
+                    continue
+                n = region.count(self.spec.padded_shape)
+                sbuf = self.pool.get(n, plane.dtype,
+                                     tag=f"send-{d}-{region.direction}")
+                pack(plane, region.send, sbuf)
+                # the message a peer receives on its (dim, dir) face was
+                # sent from our opposite-direction strip
+                send_tag = (
+                    _TAG_BASE + 2 * d + (0 if region.direction < 0 else 1)
+                )
+                self.comm.Isend(sbuf, dest=peer, tag=send_tag).Wait()
+                self.messages += 1
+                self.bytes_sent += sbuf.nbytes
+            for region, req, buf in zip(phase, recvs, recv_bufs):
+                if req is None:
+                    continue
+                req.Wait()
+                unpack(buf, plane, region.recv)
+
+
+class MasterCoordinatedExchanger(HaloExchanger):
+    """Physis-style exchanger: all halo traffic relayed via rank 0.
+
+    Every process sends its strips to the master, which forwards each
+    to the destination — serialising the exchange through one process.
+    Functionally identical to the async exchanger; the serialisation is
+    what Sec. 5.5 identifies as Physis's large-scale bottleneck.
+    """
+
+    MASTER = 0
+
+    def exchange(self, plane: np.ndarray) -> None:
+        if plane.shape != self.spec.padded_shape:
+            raise ValueError(
+                f"plane shape {plane.shape} != padded shape "
+                f"{self.spec.padded_shape}"
+            )
+        comm = self.comm
+        ndim = len(self.spec.sub_shape)
+        for d in range(ndim):
+            phase = [r for r in self.regions if r.dim == d]
+            if not phase:
+                continue
+            # 1) everyone ships strips to the master with routing info
+            sends = []
+            for region in phase:
+                peer = self._neighbour(region)
+                if peer < 0:
+                    continue
+                n = region.count(self.spec.padded_shape)
+                sbuf = self.pool.get(
+                    n + 2, plane.dtype, tag=f"m-send-{d}-{region.direction}"
+                )
+                sbuf[0] = float(peer)
+                sbuf[1] = float(self._tag_for_peer(region))
+                pack(plane, region.send, sbuf[2:])
+                sends.append((sbuf, region))
+            counts = comm.gather(len(sends), root=self.MASTER)
+            # strip sizes differ across ranks (balanced decomposition);
+            # the master's relay scratch must fit the largest
+            max_strip = comm.allreduce(self._max_strip(phase), "max")
+            for sbuf, region in sends:
+                comm.Send(sbuf, dest=self.MASTER,
+                          tag=_TAG_BASE - 1)
+                self.messages += 1
+                self.bytes_sent += sbuf.nbytes
+            # 2) master relays every message, one at a time
+            if comm.rank == self.MASTER:
+                total = sum(counts)
+                scratch = self.pool.get(max_strip + 2, plane.dtype,
+                                        tag="relay")
+                for _ in range(total):
+                    _, _, count = comm.Recv(scratch, tag=_TAG_BASE - 1)
+                    dest = int(scratch[0])
+                    fwd_tag = int(scratch[1])
+                    comm.Send(scratch[2:count], dest=dest, tag=fwd_tag)
+            # 3) everyone receives its ghost strips from the master
+            for region in phase:
+                peer = self._neighbour(region)
+                if peer < 0:
+                    continue
+                n = region.count(self.spec.padded_shape)
+                rbuf = self.pool.get(
+                    n, plane.dtype, tag=f"m-recv-{d}-{region.direction}"
+                )
+                comm.Recv(rbuf, source=self.MASTER, tag=self._tag(region))
+                unpack(rbuf, plane, region.recv)
+
+    def _tag_for_peer(self, region: Region) -> int:
+        # the tag under which the *peer* expects this strip
+        return _TAG_BASE + 2 * region.dim + (0 if region.direction < 0 else 1)
+
+    def _max_strip(self, phase: Sequence[Region]) -> int:
+        return max(r.count(self.spec.padded_shape) for r in phase)

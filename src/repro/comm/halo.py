@@ -1,0 +1,146 @@
+"""Halo-region geometry (Fig. 6b).
+
+Each sub-tensor is dissected into three parts:
+
+- the **outer halo region**: ghost cells receiving neighbours' data,
+- the **inner halo region**: boundary strips of valid data that are
+  *sent* to neighbours,
+- the **inner region**: valid data not participating in exchange.
+
+This module computes the numpy slices for each region over a process's
+*padded* local array, per dimension and direction, for the
+dimension-by-dimension exchange protocol (exchanging dimension 0 first,
+then dimension 1 including the freshly-filled dim-0 ghosts, and so on —
+which delivers edge/corner data for box stencils with only ``2·ndim``
+messages per process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["HaloSpec", "Region", "halo_regions", "partition_regions"]
+
+Slices = Tuple[slice, ...]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One face strip of the exchange, for one dimension + direction.
+
+    ``send`` selects the inner-halo strip to pack; ``recv`` the outer
+    halo strip to fill.  Both are slices over the padded local array.
+    ``dim`` is the exchange dimension; ``direction`` is -1 (towards
+    lower coordinates) or +1.
+    """
+
+    dim: int
+    direction: int
+    send: Slices
+    recv: Slices
+
+    def count(self, padded_shape: Sequence[int]) -> int:
+        """Number of elements in the strip."""
+        n = 1
+        for d, sl in enumerate(self.send):
+            start, stop, _ = sl.indices(padded_shape[d])
+            n *= stop - start
+        return n
+
+
+@dataclass(frozen=True)
+class HaloSpec:
+    """Halo configuration of one sub-domain."""
+
+    sub_shape: Tuple[int, ...]
+    halo: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sub_shape) != len(self.halo):
+            raise ValueError("halo rank mismatch")
+        for s, h in zip(self.sub_shape, self.halo):
+            if h < 0:
+                raise ValueError("halo widths must be >= 0")
+            if h > s:
+                raise ValueError(
+                    f"halo {h} wider than sub-domain extent {s}: "
+                    "the inner halo strips would overlap"
+                )
+
+    @property
+    def padded_shape(self) -> Tuple[int, ...]:
+        return tuple(s + 2 * h for s, h in zip(self.sub_shape, self.halo))
+
+    def interior(self) -> Slices:
+        """The valid region of the padded array."""
+        return tuple(
+            slice(h, h + s) for s, h in zip(self.sub_shape, self.halo)
+        )
+
+
+def halo_regions(spec: HaloSpec) -> List[Region]:
+    """Exchange regions in dimension order, both directions per dim.
+
+    The strips of dimension ``d`` span the *full padded extent* of all
+    earlier dimensions (so corners propagate) and the padded extent of
+    later dimensions as well — later dims' ghosts are garbage until
+    their own phase, but sending them is harmless and keeps strips
+    rectangular; what matters is that dimension phases run in order.
+    """
+    ndim = len(spec.sub_shape)
+    regions: List[Region] = []
+    for d in range(ndim):
+        h = spec.halo[d]
+        if h == 0:
+            continue
+        s = spec.sub_shape[d]
+        full = [slice(None)] * ndim
+        for direction in (-1, +1):
+            send = list(full)
+            recv = list(full)
+            if direction == -1:
+                # send the low inner strip, receive into the low ghosts
+                send[d] = slice(h, 2 * h)
+                recv[d] = slice(0, h)
+            else:
+                send[d] = slice(s, s + h)  # == h + s - h .. h + s
+                recv[d] = slice(h + s, h + s + h)
+            regions.append(
+                Region(d, direction, tuple(send), tuple(recv))
+            )
+    return regions
+
+
+def partition_regions(spec: HaloSpec) -> Tuple[Slices, List[Slices], List[Slices]]:
+    """(inner region, inner halo strips, outer halo strips) — Fig. 6b.
+
+    The *inner region* excludes the inner-halo strips; the strips here
+    are face-aligned over the valid region only (no padding), used for
+    accounting and the Fig. 6 geometry tests rather than the exchange
+    protocol itself.
+    """
+    ndim = len(spec.sub_shape)
+    inner = tuple(
+        slice(2 * h, h + s - h) if h > 0 else slice(0, s + 2 * h)
+        for s, h in zip(spec.sub_shape, spec.halo)
+    )
+    inner_strips: List[Slices] = []
+    outer_strips: List[Slices] = []
+    valid = spec.interior()
+    for d in range(ndim):
+        h = spec.halo[d]
+        if h == 0:
+            continue
+        s = spec.sub_shape[d]
+        lo_in = list(valid)
+        hi_in = list(valid)
+        lo_in[d] = slice(h, 2 * h)
+        hi_in[d] = slice(s, s + h)
+        inner_strips += [tuple(lo_in), tuple(hi_in)]
+        lo_out = list(valid)
+        hi_out = list(valid)
+        lo_out[d] = slice(0, h)
+        hi_out[d] = slice(h + s, h + s + h)
+        outer_strips += [tuple(lo_out), tuple(hi_out)]
+    return inner, inner_strips, outer_strips

@@ -1,0 +1,74 @@
+"""The pluggable communication-library facade (Sec. 4.4).
+
+"Since the communication library works as a plugin to MSC, it is
+naturally separated from the stencil kernel optimizations ... users can
+easily plug in their own halo-exchanging libraries."  This registry is
+that plugin point: strategies are registered by name and the code
+generator / distributed executor look them up.
+
+Built-in strategies:
+
+- ``"async"``  — MSC's asynchronous exchanger (the default),
+- ``"master"`` — the Physis-style master-coordinated exchanger (for the
+  Sec. 5.5 comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..runtime.simmpi import CartComm
+from .halo import HaloSpec
+from .exchange import (
+    AsyncHaloExchanger,
+    HaloExchanger,
+    MasterCoordinatedExchanger,
+)
+
+__all__ = [
+    "register_exchanger",
+    "get_exchanger",
+    "create_exchanger",
+    "available_exchangers",
+]
+
+_REGISTRY: Dict[str, Type[HaloExchanger]] = {}
+
+
+def register_exchanger(name: str, cls: Type[HaloExchanger],
+                       replace: bool = False) -> None:
+    """Register a halo-exchange strategy under ``name``."""
+    if not issubclass(cls, HaloExchanger):
+        raise TypeError(
+            f"{cls.__name__} does not implement HaloExchanger"
+        )
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"exchanger {name!r} already registered (pass replace=True "
+            "to override)"
+        )
+    _REGISTRY[name] = cls
+
+
+def get_exchanger(name: str) -> Type[HaloExchanger]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown exchanger {name!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_exchanger(name: str, comm: CartComm,
+                     spec: HaloSpec) -> HaloExchanger:
+    """Instantiate a registered strategy for one rank."""
+    return get_exchanger(name)(comm, spec)
+
+
+def available_exchangers() -> list:
+    return sorted(_REGISTRY)
+
+
+register_exchanger("async", AsyncHaloExchanger)
+register_exchanger("master", MasterCoordinatedExchanger)

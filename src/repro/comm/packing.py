@@ -1,0 +1,70 @@
+"""Message packing (Fig. 6c: "packs the data of the inner halo region
+in the send buffer ... unpacks the data to update the outer halo").
+
+Halo strips are strided views of the padded plane; MPI wants contiguous
+buffers.  ``pack`` copies a strip into a reusable send buffer,
+``unpack`` scatters a received buffer back into the ghost strip.
+Buffers are cached per (shape, dtype) so steady-state exchange does no
+allocation — mirroring the send/recv buffer reuse of the C library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BufferPool", "pack", "unpack"]
+
+
+def pack(plane: np.ndarray, strip: Sequence[slice],
+         out: np.ndarray = None) -> np.ndarray:
+    """Copy ``plane[strip]`` into a contiguous buffer."""
+    view = plane[tuple(strip)]
+    if out is None:
+        return np.ascontiguousarray(view)
+    flat = out.reshape(-1)
+    if flat.size != view.size:
+        raise ValueError(
+            f"pack buffer holds {flat.size} elements, strip has {view.size}"
+        )
+    flat[...] = view.reshape(-1)
+    return out
+
+
+def unpack(buf: np.ndarray, plane: np.ndarray,
+           strip: Sequence[slice]) -> None:
+    """Scatter a contiguous buffer into ``plane[strip]``."""
+    view = plane[tuple(strip)]
+    if buf.size != view.size:
+        raise ValueError(
+            f"unpack buffer has {buf.size} elements, strip needs {view.size}"
+        )
+    view[...] = buf.reshape(view.shape)
+
+
+class BufferPool:
+    """Reusable send/receive staging buffers keyed by (size, dtype)."""
+
+    def __init__(self):
+        self._pool: Dict[Tuple[int, str, str], np.ndarray] = {}
+
+    def get(self, nelems: int, dtype, tag: str = "") -> np.ndarray:
+        """A buffer of ``nelems`` elements; reused across calls.
+
+        ``tag`` separates buffers that must coexist (e.g. one per
+        outstanding receive direction).
+        """
+        key = (int(nelems), np.dtype(dtype).str, tag)
+        buf = self._pool.get(key)
+        if buf is None:
+            buf = np.empty(int(nelems), dtype=dtype)
+            self._pool[key] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._pool.values())
+
+    def __len__(self) -> int:
+        return len(self._pool)

@@ -1,0 +1,46 @@
+"""Evaluation suite: paper-table configurations, the experiment
+harness (one entry per table/figure of Sec. 5), and row printers."""
+
+from .configs import (
+    PHYSIS_GLOBAL_2D,
+    PHYSIS_GLOBAL_3D,
+    TABLE5,
+    TABLE7_SUNWAY,
+    TABLE7_TIANHE3,
+    TABLE8,
+    Table5Row,
+    Table7Row,
+    Table8Row,
+    table5_row,
+)
+from .harness import (
+    build_with_schedule,
+    fig7_rows,
+    fig8_rows,
+    fig9_points,
+    fig10_curves,
+    fig11_runs,
+    fig12_rows,
+    fig13_rows,
+    fig14_rows,
+    geomean,
+    table3_rows,
+    table4_rows,
+    table6_rows,
+)
+from .tables import format_series, format_table, print_series, print_table
+from .ascii_plot import line_chart
+from .verify import PathResult, relative_error, verify_benchmark
+
+__all__ = [
+    "PHYSIS_GLOBAL_2D", "PHYSIS_GLOBAL_3D",
+    "TABLE5", "TABLE7_SUNWAY", "TABLE7_TIANHE3", "TABLE8",
+    "Table5Row", "Table7Row", "Table8Row", "table5_row",
+    "build_with_schedule",
+    "fig7_rows", "fig8_rows", "fig9_points", "fig10_curves",
+    "fig11_runs", "fig12_rows", "fig13_rows", "fig14_rows",
+    "geomean", "table3_rows", "table4_rows", "table6_rows",
+    "format_series", "format_table", "print_series", "print_table",
+    "line_chart",
+    "PathResult", "relative_error", "verify_benchmark",
+]

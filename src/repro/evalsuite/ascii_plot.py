@@ -1,0 +1,102 @@
+"""ASCII line charts for the figure artefacts.
+
+matplotlib is unavailable offline, so the figure benches render their
+series as monospace charts: good enough to eyeball the scalability
+curves and the auto-tuning convergence in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+__all__ = ["line_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-2:
+        return f"{value:.1e}"
+    return f"{value:.4g}"
+
+
+def line_chart(series: Dict[str, List[Tuple[float, float]]],
+               width: int = 64, height: int = 16,
+               x_label: str = "x", y_label: str = "y",
+               logx: bool = False, logy: bool = False) -> str:
+    """Render named (x, y) series onto a character grid.
+
+    Each series gets a marker from ``oxX+*``...; a legend follows the
+    chart.  Log scales are applied before placement when requested
+    (values must then be positive).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be readable")
+
+    def tx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ValueError("logx requires positive x values")
+            return math.log10(v)
+        return v
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ValueError("logy requires positive y values")
+            return math.log10(v)
+        return v
+
+    xs = [tx(x) for pts in series.values() for x, _ in pts]
+    ys = [ty(y) for pts in series.values() for _, y in pts]
+    if not xs:
+        raise ValueError("series contain no points")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            col = int((tx(x) - x_min) / x_span * (width - 1))
+            row = int((ty(y) - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    raw_y_max = max(y for pts in series.values() for _, y in pts)
+    raw_y_min = min(y for pts in series.values() for _, y in pts)
+    raw_x_max = max(x for pts in series.values() for x, _ in pts)
+    raw_x_min = min(x for pts in series.values() for x, _ in pts)
+    lines = []
+    label_top = f"{_nice(raw_y_max)} -"
+    label_bot = f"{_nice(raw_y_min)} -"
+    pad = max(len(label_top), len(label_bot))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = label_top.rjust(pad)
+        elif r == height - 1:
+            prefix = label_bot.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * pad + "+" + "-" * width)
+    x_axis = (
+        f"{_nice(raw_x_min)}".ljust(width // 2)
+        + f"{_nice(raw_x_max)}".rjust(width // 2)
+    )
+    lines.append(" " * (pad + 1) + x_axis)
+    lines.append(" " * (pad + 1) + f"({x_label} vs {y_label}"
+                 + (", log-x" if logx else "")
+                 + (", log-y" if logy else "") + ")")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (pad + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Experiment configurations from the paper's tables.
+
+- Table 5: per-benchmark grid sizes, tile sizes and reorder rules for
+  single-processor runs on Sunway / Matrix;
+- Table 7: the strong/weak scalability configurations on Sunway
+  TaihuLight (left) and the prototype Tianhe-3 (right);
+- Table 8: the MSC configurations for the Physis comparison on CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "Table5Row",
+    "TABLE5",
+    "table5_row",
+    "Table7Row",
+    "TABLE7_SUNWAY",
+    "TABLE7_TIANHE3",
+    "Table8Row",
+    "TABLE8",
+]
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """Parameter settings for one benchmark (Table 5)."""
+
+    benchmark: str
+    grid: Tuple[int, ...]
+    sunway_tile: Tuple[int, ...]
+    matrix_tile: Tuple[int, ...]
+    reorder: Tuple[str, ...]
+
+
+_REORDER_2D = ("xo", "yo", "xi", "yi")
+_REORDER_3D = ("xo", "yo", "zo", "xi", "yi", "zi")
+
+TABLE5: Tuple[Table5Row, ...] = (
+    Table5Row("2d9pt_star", (4096, 4096), (32, 64), (2, 2048), _REORDER_2D),
+    Table5Row("2d9pt_box", (4096, 4096), (32, 64), (2, 2048), _REORDER_2D),
+    Table5Row("2d121pt_box", (4096, 4096), (16, 32), (2, 2048), _REORDER_2D),
+    Table5Row("2d169pt_box", (4096, 4096), (16, 32), (2, 2048), _REORDER_2D),
+    Table5Row("3d7pt_star", (256, 256, 256), (2, 8, 64), (2, 8, 256),
+              _REORDER_3D),
+    Table5Row("3d13pt_star", (256, 256, 256), (2, 8, 64), (2, 8, 256),
+              _REORDER_3D),
+    Table5Row("3d25pt_star", (256, 256, 256), (2, 4, 32), (2, 8, 256),
+              _REORDER_3D),
+    Table5Row("3d31pt_star", (256, 256, 256), (2, 4, 32), (2, 8, 256),
+              _REORDER_3D),
+)
+
+_TABLE5_BY_NAME = {r.benchmark: r for r in TABLE5}
+
+
+def table5_row(benchmark: str) -> Table5Row:
+    try:
+        return _TABLE5_BY_NAME[benchmark]
+    except KeyError:
+        raise KeyError(
+            f"no Table 5 row for {benchmark!r}; known: "
+            f"{sorted(_TABLE5_BY_NAME)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    """One scalability configuration (Table 7)."""
+
+    ndim: int
+    weak_sub_grid: Tuple[int, ...]  # per-process grid, weak scaling
+    strong_sub_grid: Tuple[int, ...]  # per-process grid, strong scaling
+    mpi_grid: Tuple[int, ...]
+    processes: int
+
+
+# Sunway TaihuLight: 128 → 1024 CGs (Table 7 left of the separator)
+TABLE7_SUNWAY: Tuple[Table7Row, ...] = (
+    Table7Row(2, (4096, 4096), (4096, 4096), (16, 8), 128),
+    Table7Row(2, (4096, 4096), (4096, 2048), (16, 16), 256),
+    Table7Row(2, (4096, 4096), (2048, 2048), (32, 16), 512),
+    Table7Row(2, (4096, 4096), (2048, 1024), (32, 32), 1024),
+    Table7Row(3, (256, 256, 256), (256, 256, 256), (8, 4, 4), 128),
+    Table7Row(3, (256, 256, 256), (256, 256, 128), (8, 8, 4), 256),
+    Table7Row(3, (256, 256, 256), (256, 128, 128), (8, 8, 8), 512),
+    Table7Row(3, (256, 256, 256), (128, 128, 128), (16, 8, 8), 1024),
+)
+
+# Prototype Tianhe-3: 32 → 256 Matrix supernodes (Table 7 right)
+TABLE7_TIANHE3: Tuple[Table7Row, ...] = (
+    Table7Row(2, (4096, 4096), (4096, 4096), (8, 4), 32),
+    Table7Row(2, (4096, 4096), (4096, 2048), (8, 8), 64),
+    Table7Row(2, (4096, 4096), (2048, 2048), (16, 8), 128),
+    Table7Row(2, (4096, 4096), (2048, 1024), (16, 16), 256),
+    Table7Row(3, (256, 256, 256), (256, 256, 256), (4, 4, 2), 32),
+    Table7Row(3, (256, 256, 256), (256, 256, 128), (4, 4, 4), 64),
+    Table7Row(3, (256, 256, 256), (256, 128, 128), (4, 8, 4), 128),
+    Table7Row(3, (256, 256, 256), (128, 128, 128), (8, 8, 4), 256),
+)
+
+
+@dataclass(frozen=True)
+class Table8Row:
+    """MSC hybrid configuration for the Physis comparison (Table 8)."""
+
+    ndim: int
+    sub_grid: Tuple[int, ...]
+    mpi_grid: Tuple[int, ...]
+    mpi_processes: int
+    omp_threads: int
+
+
+TABLE8: Tuple[Table8Row, ...] = (
+    Table8Row(2, (4096, 4096), (4, 7), 28, 1),
+    Table8Row(2, (8192, 4096), (2, 7), 14, 2),
+    Table8Row(2, (16384, 4096), (1, 7), 7, 4),
+    Table8Row(3, (256, 256, 256), (2, 2, 7), 28, 1),
+    Table8Row(3, (512, 256, 256), (1, 2, 7), 14, 2),
+    Table8Row(3, (512, 512, 256), (1, 1, 7), 7, 4),
+)
+
+#: global grids of the Physis comparison (Sec. 5.5)
+PHYSIS_GLOBAL_2D: Tuple[int, int] = (16384, 28672)
+PHYSIS_GLOBAL_3D: Tuple[int, int, int] = (512, 512, 1792)

@@ -1,0 +1,353 @@
+"""Experiment harness: one function per table/figure of Sec. 5.
+
+Each function returns plain data (lists of row dicts or series) that
+the ``benchmarks/`` targets print and the test suite asserts on — who
+wins, by roughly what factor, where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..autotune.tuner import AutoTuner, TuningResult
+from ..baselines.halide import simulate_halide_aot, simulate_halide_jit
+from ..baselines.loc import loc_comparison
+from ..baselines.openacc import simulate_openacc_sunway
+from ..baselines.openmp import simulate_openmp_matrix
+from ..baselines.patus import simulate_patus
+from ..baselines.physis import simulate_msc_hybrid, simulate_physis
+from ..frontend.stencils import ALL_BENCHMARKS, benchmark_by_name
+from ..ir.analysis import characterize_kernel, stencil_flops_per_point
+from ..ir.dtypes import DType, f32, f64
+from ..machine.matrix_sim import CacheMachineSimulator
+from ..machine.roofline import Roofline, RooflinePoint
+from ..machine.spec import (
+    CPU_E5_2680V4,
+    MATRIX_SN,
+    SUNWAY_CG,
+    SUNWAY_NETWORK,
+    TIANHE3_NETWORK,
+)
+from ..machine.sunway_sim import SunwaySimulator
+from ..runtime.network import ScalePoint, scaling_run
+from .configs import (
+    PHYSIS_GLOBAL_2D,
+    PHYSIS_GLOBAL_3D,
+    TABLE7_SUNWAY,
+    TABLE7_TIANHE3,
+    TABLE8,
+    table5_row,
+)
+
+__all__ = [
+    "build_with_schedule",
+    "table3_rows",
+    "table4_rows",
+    "table6_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "fig9_points",
+    "fig10_curves",
+    "fig11_runs",
+    "fig12_rows",
+    "fig13_rows",
+    "fig14_rows",
+    "geomean",
+]
+
+_AXIS_NAMES_2D = ("xo", "xi", "yo", "yi")
+_AXIS_NAMES_3D = ("xo", "xi", "yo", "yi", "zo", "zi")
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedups)."""
+    if not values:
+        raise ValueError("geomean of no values")
+    prod = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"non-positive speedup {v}")
+        prod *= v
+    return prod ** (1.0 / len(values))
+
+
+def build_with_schedule(name: str, target: str, dtype: DType = f64,
+                        grid: Optional[Sequence[int]] = None):
+    """Benchmark program with its Table 5 schedule applied.
+
+    ``target``: "sunway" applies the Sunway tile plus cache/DMA
+    primitives and 64 CPEs; "matrix" the Matrix tile with 32 threads;
+    "cpu" the Matrix tile with 28 threads (the Sec. 5.5 setting).
+    """
+    bench = benchmark_by_name(name)
+    row = table5_row(name)
+    prog, handle = bench.build(grid=grid or row.grid, dtype=dtype)
+    tile = row.sunway_tile if target == "sunway" else row.matrix_tile
+    shape = prog.ir.output.shape
+    tile = tuple(min(t, s) for t, s in zip(tile, shape))
+    names = _AXIS_NAMES_2D if bench.ndim == 2 else _AXIS_NAMES_3D
+    handle.tile(*tile, *names)
+    handle.reorder(*row.reorder)
+    if target == "sunway":
+        handle.cache_read(prog.ir.output, "buffer_read", "global")
+        handle.cache_write("buffer_write", "global")
+        anchor = row.reorder[bench.ndim - 1]  # innermost outer axis
+        handle.compute_at("buffer_read", anchor)
+        handle.compute_at("buffer_write", anchor)
+        handle.parallel("xo", SUNWAY_CG.cores_per_node)
+    elif target == "matrix":
+        handle.parallel("xo", MATRIX_SN.cores_per_node)
+    elif target == "cpu":
+        handle.parallel("xo", CPU_E5_2680V4.cores_per_node)
+    else:
+        raise ValueError(f"unknown target {target!r}")
+    return prog, handle
+
+
+# -- Table 3: platform configurations -------------------------------------------
+def table3_rows() -> List[Dict]:
+    return [
+        {
+            "platform": "Sunway TaihuLight",
+            "processor": "SW26010 (65 cores*4)",
+            "model": SUNWAY_CG,
+        },
+        {
+            "platform": "Tianhe-3 Prototype",
+            "processor": "MT2000+ (32 cores)",
+            "model": MATRIX_SN,
+        },
+        {
+            "platform": "Local CPU Server",
+            "processor": "E5-2680v4*2 (14 cores*2)",
+            "model": CPU_E5_2680V4,
+        },
+    ]
+
+
+# -- Table 4: benchmark characteristics -----------------------------------------
+def table4_rows() -> List[Dict]:
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        prog, handle = bench.build(
+            grid=tuple(4 * (2 * bench.radius + 1) for _ in range(bench.ndim))
+        )
+        ch = characterize_kernel(handle.kernel, prog.ir.time_dependencies)
+        rows.append({
+            "benchmark": bench.name,
+            "read_bytes": ch.read_bytes,
+            "write_bytes": ch.write_bytes,
+            "ops": ch.ops,
+            "time_dep": ch.time_dependencies,
+            "paper_read": bench.paper_read_bytes,
+            "paper_write": bench.paper_write_bytes,
+            "paper_ops": bench.paper_ops,
+            "paper_time_dep": bench.time_dependencies,
+        })
+    return rows
+
+
+# -- Table 6: LoC comparison ------------------------------------------------------
+def table6_rows() -> List[Dict]:
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        locs = loc_comparison(bench)
+        rows.append({"benchmark": bench.name, **locs})
+    return rows
+
+
+# -- Fig. 7: MSC vs OpenACC on a Sunway CG ---------------------------------------
+def fig7_rows(precision: str = "fp64") -> List[Dict]:
+    dtype = f32 if precision == "fp32" else f64
+    rows = []
+    sim = SunwaySimulator(SUNWAY_CG)
+    for bench in ALL_BENCHMARKS:
+        prog, handle = build_with_schedule(bench.name, "sunway", dtype)
+        msc = sim.run(prog.ir, handle.schedule, timesteps=1)
+        acc = simulate_openacc_sunway(prog.ir, handle.schedule, timesteps=1)
+        rows.append({
+            "benchmark": bench.name,
+            "msc_s": msc.step_s,
+            "openacc_s": acc.step_s,
+            "speedup": acc.step_s / msc.step_s,
+            "msc_gflops": msc.gflops,
+            "spm_utilisation": msc.details["spm_utilisation"],
+            "tiles_per_cpe": msc.details["tiles_per_cpe"],
+        })
+    return rows
+
+
+# -- Fig. 8: MSC vs manual OpenMP on Matrix ---------------------------------------
+def fig8_rows(precision: str = "fp64") -> List[Dict]:
+    dtype = f32 if precision == "fp32" else f64
+    rows = []
+    sim = CacheMachineSimulator(MATRIX_SN)
+    for bench in ALL_BENCHMARKS:
+        prog, handle = build_with_schedule(bench.name, "matrix", dtype)
+        msc = sim.run(prog.ir, handle.schedule, timesteps=1)
+        omp = simulate_openmp_matrix(prog.ir, handle.schedule, timesteps=1)
+        rows.append({
+            "benchmark": bench.name,
+            "msc_s": msc.step_s,
+            "openmp_s": omp.step_s,
+            "speedup": omp.step_s / msc.step_s,
+            "msc_gflops": msc.gflops,
+        })
+    return rows
+
+
+# -- Fig. 9: roofline ---------------------------------------------------------------
+def fig9_points(machine_name: str = "sunway",
+                precision: str = "fp64") -> List[RooflinePoint]:
+    dtype = f32 if precision == "fp32" else f64
+    if machine_name == "sunway":
+        machine = SUNWAY_CG
+        sim = SunwaySimulator(machine)
+        target = "sunway"
+    else:
+        machine = MATRIX_SN
+        sim = CacheMachineSimulator(machine)
+        target = "matrix"
+    roof = Roofline(machine, precision)
+    points = []
+    for bench in ALL_BENCHMARKS:
+        prog, handle = build_with_schedule(bench.name, target, dtype)
+        report = sim.run(prog.ir, handle.schedule, timesteps=1)
+        # operational intensity of the full stencil step: all kernel
+        # applications' footprints plus the combine
+        flops_pp = stencil_flops_per_point(prog.ir)
+        elem = dtype.nbytes
+        napply = len(prog.ir.applications)
+        # Sunway DMA puts do not read-allocate (write costs 1 element);
+        # cache machines write-allocate (read + write the output line)
+        write_cost = 1.0 if machine.cacheless else 2.0
+        bytes_pp = elem * (napply + write_cost)
+        oi = flops_pp / bytes_pp
+        points.append(roof.place(bench.name, oi, report.gflops))
+    return points
+
+
+# -- Fig. 10 (+ Table 7): scalability ------------------------------------------------
+def fig10_curves(platform: str, mode: str,
+                 benchmarks: Optional[Sequence[str]] = None
+                 ) -> Dict[str, List[ScalePoint]]:
+    """Scalability curves: platform in {sunway, tianhe3}, mode in
+    {strong, weak}.  Returns one curve (list of ScalePoints in process
+    order) per benchmark."""
+    if platform == "sunway":
+        table, machine, network = (
+            TABLE7_SUNWAY, SUNWAY_CG, SUNWAY_NETWORK
+        )
+    elif platform == "tianhe3":
+        table, machine, network = (
+            TABLE7_TIANHE3, MATRIX_SN, TIANHE3_NETWORK
+        )
+    else:
+        raise ValueError(f"unknown platform {platform!r}")
+    if mode not in ("strong", "weak"):
+        raise ValueError(f"mode must be strong/weak, got {mode!r}")
+    names = benchmarks or [b.name for b in ALL_BENCHMARKS]
+    curves: Dict[str, List[ScalePoint]] = {}
+    for name in names:
+        bench = benchmark_by_name(name)
+        rows = [r for r in table if r.ndim == bench.ndim]
+        prog, handle = bench.build(
+            grid=tuple(4 * (2 * bench.radius + 1) for _ in range(bench.ndim))
+        )
+        pts = []
+        for row in rows:
+            sub = (
+                row.strong_sub_grid if mode == "strong"
+                else row.weak_sub_grid
+            )
+            pts.append(
+                scaling_run(prog.ir, sub, row.mpi_grid, machine, network)
+            )
+        curves[name] = pts
+    return curves
+
+
+# -- Fig. 11: auto-tuning ---------------------------------------------------------------
+def fig11_runs(seeds: Sequence[int] = (0, 1),
+               iterations: int = 20000) -> List[TuningResult]:
+    """Two auto-tuning runs of 3d7pt_star at 8192×128×128 on 128 CGs."""
+    bench = benchmark_by_name("3d7pt_star")
+    shape = (8192, 128, 128)
+    prog, handle = bench.build(grid=shape)
+    results = []
+    for seed in seeds:
+        tuner = AutoTuner(
+            prog.ir, shape, nprocs=128,
+            machine=SUNWAY_CG, network=SUNWAY_NETWORK,
+        )
+        results.append(tuner.tune(iterations=iterations, seed=seed))
+    return results
+
+
+# -- Figs. 12/13: Halide and Patus on CPU ----------------------------------------------
+def fig12_rows() -> List[Dict]:
+    rows = []
+    sim = CacheMachineSimulator(CPU_E5_2680V4)
+    for bench in ALL_BENCHMARKS:
+        prog, handle = build_with_schedule(bench.name, "cpu")
+        # the paper runs 100 timesteps per measurement
+        steps = 100
+        msc = sim.run(prog.ir, handle.schedule, timesteps=steps)
+        aot = simulate_halide_aot(prog.ir, handle.schedule, timesteps=steps)
+        jit = simulate_halide_jit(prog.ir, handle.schedule, timesteps=steps)
+        rows.append({
+            "benchmark": bench.name,
+            "msc_s": msc.total_s,
+            "halide_aot_s": aot.total_s,
+            "halide_jit_s": jit.total_s,
+            "speedup_msc": jit.total_s / msc.total_s,
+            "speedup_aot": jit.total_s / aot.total_s,
+            "msc_vs_aot": aot.total_s / msc.total_s,
+        })
+    return rows
+
+
+def fig13_rows() -> List[Dict]:
+    rows = []
+    sim = CacheMachineSimulator(CPU_E5_2680V4)
+    for bench in ALL_BENCHMARKS:
+        prog, handle = build_with_schedule(bench.name, "cpu")
+        msc = sim.run(prog.ir, handle.schedule, timesteps=1)
+        patus = simulate_patus(prog.ir, handle.schedule, timesteps=1)
+        rows.append({
+            "benchmark": bench.name,
+            "msc_s": msc.step_s,
+            "patus_s": patus.step_s,
+            "speedup": patus.step_s / msc.step_s,
+        })
+    return rows
+
+
+# -- Fig. 14 (+ Table 8): Physis on CPU ---------------------------------------------------
+def fig14_rows() -> List[Dict]:
+    rows = []
+    for bench in ALL_BENCHMARKS:
+        global_shape = (
+            PHYSIS_GLOBAL_2D if bench.ndim == 2 else PHYSIS_GLOBAL_3D
+        )
+        prog, handle = bench.build(
+            grid=tuple(4 * (2 * bench.radius + 1) for _ in range(bench.ndim))
+        )
+        for row in (r for r in TABLE8 if r.ndim == bench.ndim):
+            msc = simulate_msc_hybrid(
+                prog.ir, global_shape, row.mpi_grid, row.omp_threads
+            )
+            # Physis: MPI-everywhere on all 28 cores
+            physis_grid = (
+                (4, 7) if bench.ndim == 2 else (2, 2, 7)
+            )
+            phys = simulate_physis(prog.ir, global_shape, physis_grid)
+            rows.append({
+                "benchmark": bench.name,
+                "mpi_grid": row.mpi_grid,
+                "omp_threads": row.omp_threads,
+                "msc_s": msc.step_s,
+                "physis_s": phys.step_s,
+                "speedup": phys.step_s / msc.step_s,
+            })
+    return rows

@@ -1,0 +1,64 @@
+"""Row/series printers: render harness output the way the paper does.
+
+Every ``benchmarks/`` target funnels through these so the printed
+reproduction artefacts have one consistent format (and the tests can
+sanity-check the strings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "print_table", "print_series"]
+
+
+def format_table(rows: List[Dict], columns: Sequence[str],
+                 title: str = "", floatfmt: str = "{:.3g}") -> str:
+    """Fixed-width text table over a list of row dicts."""
+    if not rows:
+        raise ValueError("no rows to format")
+    header = list(columns)
+    rendered: List[List[str]] = [header]
+    for row in rows:
+        line = []
+        for col in columns:
+            val = row[col]
+            if isinstance(val, float):
+                line.append(floatfmt.format(val))
+            else:
+                line.append(str(val))
+        rendered.append(line)
+    widths = [
+        max(len(r[c]) for r in rendered) for c in range(len(header))
+    ]
+    out = []
+    if title:
+        out.append(title)
+    for idx, line in enumerate(rendered):
+        out.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+        if idx == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def format_series(series: Dict[str, List], x_label: str,
+                  y_label: str, title: str = "") -> str:
+    """Figure-style output: one line block per curve."""
+    out = []
+    if title:
+        out.append(title)
+    for name, points in series.items():
+        out.append(f"[{name}]")
+        for x, y in points:
+            out.append(f"  {x_label}={x}  {y_label}={y:.4g}")
+    return "\n".join(out)
+
+
+def print_table(rows: List[Dict], columns: Sequence[str],
+                title: str = "") -> None:
+    print(format_table(rows, columns, title))
+
+
+def print_series(series: Dict[str, List], x_label: str, y_label: str,
+                 title: str = "") -> None:
+    print(format_series(series, x_label, y_label, title))

@@ -1,0 +1,40 @@
+"""MSC frontend: the embedded DSL, the benchmark suite, and the textual
+MSC-language parser."""
+
+from .dsl import (
+    DefShapeMPI2D,
+    DefShapeMPI3D,
+    DefTensor1D,
+    DefTensor2D,
+    DefTensor2D_TimeWin,
+    DefTensor3D,
+    DefTensor3D_TimeWin,
+    DefVar,
+    Kernel,
+    KernelHandle,
+    Result,
+    StencilProgram,
+    indices,
+)
+from .lang import MSCSyntaxError, ParsedProgram, parse_program, tokenize
+from .printer import render_expr, render_program
+from .stencils import (
+    ALL_BENCHMARKS,
+    BENCHMARK_NAMES,
+    BenchmarkDef,
+    benchmark_by_name,
+    box_kernel,
+    build_benchmark,
+    star_kernel,
+)
+
+__all__ = [
+    "DefShapeMPI2D", "DefShapeMPI3D",
+    "DefTensor1D", "DefTensor2D", "DefTensor2D_TimeWin",
+    "DefTensor3D", "DefTensor3D_TimeWin", "DefVar",
+    "Kernel", "KernelHandle", "Result", "StencilProgram", "indices",
+    "MSCSyntaxError", "ParsedProgram", "parse_program", "tokenize",
+    "render_expr", "render_program",
+    "ALL_BENCHMARKS", "BENCHMARK_NAMES", "BenchmarkDef",
+    "benchmark_by_name", "box_kernel", "build_benchmark", "star_kernel",
+]

@@ -1,0 +1,377 @@
+"""The MSC embedded DSL (Sec. 4.2, Listing 1).
+
+The paper embeds MSC in C++; this reproduction embeds it in Python with
+the same vocabulary::
+
+    k, j, i = indices("k j i")
+    B = DefTensor3D_TimeWin("B", time_window, halo_width, f64, 256, 256, 256)
+    S = Kernel("S_3d7pt", (k, j, i),
+               c0*B[k,j,i] + c1*B[k,j,i-1] + ... )
+    S.tile(2, 8, 64, "xo", "xi", "yo", "yi", "zo", "zi")
+    S.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+    S.cache_read(B, "buffer_read", "global")
+    S.cache_write("buffer_write", "global")
+    S.compute_at("buffer_read", "zo")
+    S.compute_at("buffer_write", "zo")
+    S.parallel("xo", 64)
+    t = StencilProgram.t
+    st = StencilProgram(B, S[t-1] + S[t-2])
+    st.set_mpi_grid(DefShapeMPI3D(4, 4, 4))
+    st.set_initial([plane0, plane1])
+    result = st.run(timesteps=10)
+    code = st.compile_to_source_code("3d7pt", target="sunway")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..ir.dtypes import DType, i32
+from ..ir.expr import Expr, VarExpr
+from ..ir.kernel import Kernel as IRKernel, KernelApply
+from ..ir.stencil import Stencil as IRStencil, TIME_VAR
+from ..ir.tensor import SpNode
+from ..ir.validate import validate_stencil
+from ..schedule.schedule import Schedule
+
+__all__ = [
+    "DefVar",
+    "indices",
+    "DefTensor1D",
+    "DefTensor2D",
+    "DefTensor3D",
+    "DefTensor2D_TimeWin",
+    "DefTensor3D_TimeWin",
+    "DefShapeMPI2D",
+    "DefShapeMPI3D",
+    "Kernel",
+    "KernelHandle",
+    "Result",
+    "StencilProgram",
+]
+
+
+def DefVar(name: str, dtype: DType = i32) -> VarExpr:
+    """Define a scalar variable (Listing 1 line 5)."""
+    return VarExpr(name, dtype.name)
+
+
+def indices(names: Union[str, Sequence[str]]) -> Tuple[VarExpr, ...]:
+    """``indices("k j i")`` — define loop index variables."""
+    if isinstance(names, str):
+        names = names.replace(",", " ").split()
+    return tuple(VarExpr(n) for n in names)
+
+
+def _def_tensor(name: str, dtype: DType, shape: Tuple[int, ...],
+                halo: int, time_window: int) -> SpNode:
+    return SpNode(
+        name, shape, dtype,
+        halo=(halo,) * len(shape), time_window=time_window,
+    )
+
+
+def DefTensor1D(name: str, halo: int, dtype: DType, nx: int) -> SpNode:
+    return _def_tensor(name, dtype, (nx,), halo, 2)
+
+
+def DefTensor2D(name: str, halo: int, dtype: DType,
+                ny: int, nx: int) -> SpNode:
+    return _def_tensor(name, dtype, (ny, nx), halo, 2)
+
+
+def DefTensor3D(name: str, halo: int, dtype: DType,
+                nz: int, ny: int, nx: int) -> SpNode:
+    return _def_tensor(name, dtype, (nz, ny, nx), halo, 2)
+
+
+def DefTensor2D_TimeWin(name: str, time_window: int, halo: int,
+                        dtype: DType, ny: int, nx: int) -> SpNode:
+    """Listing 1 line 8 (2-D variant): tensor with halo + time window."""
+    return _def_tensor(name, dtype, (ny, nx), halo, time_window)
+
+
+def DefTensor3D_TimeWin(name: str, time_window: int, halo: int,
+                        dtype: DType, nz: int, ny: int, nx: int) -> SpNode:
+    """Listing 1 line 8: 3-D tensor with halo + time window."""
+    return _def_tensor(name, dtype, (nz, ny, nx), halo, time_window)
+
+
+def DefShapeMPI2D(py: int, px: int) -> Tuple[int, int]:
+    """MPI process grid for 2-D domains (Listing 1 line 13)."""
+    if py < 1 or px < 1:
+        raise ValueError("MPI grid extents must be >= 1")
+    return (py, px)
+
+
+def DefShapeMPI3D(pz: int, py: int, px: int) -> Tuple[int, int, int]:
+    """MPI process grid for 3-D domains (Listing 1 line 13)."""
+    if pz < 1 or py < 1 or px < 1:
+        raise ValueError("MPI grid extents must be >= 1")
+    return (pz, py, px)
+
+
+class KernelHandle:
+    """A defined kernel plus its schedule.
+
+    Scheduling primitives are methods on the handle, exactly as in
+    Listing 2 (``S_3d7pt.tile(...)``); indexing with ``t - 1`` produces
+    the :class:`KernelApply` used in stencil combinations.
+    """
+
+    #: registry letting StencilProgram recover the handle (and thus the
+    #: schedule) for the IR kernels appearing in a stencil expression
+    _registry: Dict[int, "KernelHandle"] = {}
+
+    def __init__(self, kernel: IRKernel):
+        self.kernel = kernel
+        self.schedule = Schedule(kernel)
+        KernelHandle._registry[id(kernel)] = self
+
+    # -- scheduling primitives (delegate) ---------------------------------
+    def tile(self, *args) -> "KernelHandle":
+        self.schedule.tile(*args)
+        return self
+
+    def reorder(self, *axes: str) -> "KernelHandle":
+        self.schedule.reorder(*axes)
+        return self
+
+    def parallel(self, axis: str, nthreads: int) -> "KernelHandle":
+        self.schedule.parallel(axis, nthreads)
+        return self
+
+    def vectorize(self, axis: str) -> "KernelHandle":
+        self.schedule.vectorize(axis)
+        return self
+
+    def unroll(self, axis: str, factor: int) -> "KernelHandle":
+        self.schedule.unroll(axis, factor)
+        return self
+
+    def cache_read(self, tensor, buffer: str,
+                   scope: str = "global") -> "KernelHandle":
+        self.schedule.cache_read(tensor, buffer, scope)
+        return self
+
+    def cache_write(self, buffer: str,
+                    scope: str = "global") -> "KernelHandle":
+        self.schedule.cache_write(buffer, scope)
+        return self
+
+    def compute_at(self, buffer: str, axis: str) -> "KernelHandle":
+        self.schedule.compute_at(buffer, axis)
+        return self
+
+    # -- time application ---------------------------------------------------
+    def __getitem__(self, time_ref) -> KernelApply:
+        return self.kernel[time_ref]
+
+    def at(self, time_offset: int) -> KernelApply:
+        return self.kernel.at(time_offset)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def npoints(self) -> int:
+        return self.kernel.npoints
+
+    @property
+    def radius(self) -> Tuple[int, ...]:
+        return self.kernel.radius
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KernelHandle({self.kernel!r})"
+
+
+def Kernel(name: str, loop_vars: Sequence[VarExpr],
+           expr: Expr) -> KernelHandle:
+    """Define a stencil kernel (Listing 1 line 7)."""
+    return KernelHandle(IRKernel(name, tuple(loop_vars), expr))
+
+
+def Result(tensor: SpNode) -> SpNode:
+    """Name the output grid (Listing 1 line 11).
+
+    MSC's Result is a view of the output SpNode; the reproduction keeps
+    it as the tensor itself.
+    """
+    return tensor
+
+
+class StencilProgram:
+    """A complete stencil computation: IR + schedules + execution config.
+
+    This is the user-facing ``Stencil`` of Listing 1 — it owns the IR
+    :class:`~repro.ir.stencil.Stencil`, the kernels' schedules, the
+    input/initial data, the MPI grid for distributed runs, and drives
+    execution, simulation and code generation.
+    """
+
+    #: the symbolic time variable (``Stencil::t`` in the paper)
+    t = TIME_VAR
+
+    def __init__(self, output: SpNode, expr: Expr,
+                 boundary: str = "zero"):
+        self.ir = IRStencil(output, expr)
+        validate_stencil(self.ir)
+        self.boundary = boundary
+        self._handles: Dict[str, KernelHandle] = {}
+        for kern in self.ir.kernels:
+            handle = KernelHandle._registry.get(id(kern))
+            if handle is not None:
+                self._handles[kern.name] = handle
+        self.mpi_grid: Optional[Tuple[int, ...]] = None
+        self._initial: Optional[List[np.ndarray]] = None
+        self._inputs: Dict[str, np.ndarray] = {}
+        self._scalars: Dict[str, float] = {}
+
+    # -- wiring -----------------------------------------------------------------
+    def attach(self, *handles: KernelHandle) -> "StencilProgram":
+        """Register kernel handles so their schedules are used."""
+        for h in handles:
+            if h.kernel.name not in {k.name for k in self.ir.kernels}:
+                raise ValueError(
+                    f"kernel {h.kernel.name!r} is not part of this stencil"
+                )
+            self._handles[h.kernel.name] = h
+        return self
+
+    def schedules(self) -> Dict[str, Schedule]:
+        scheds = {n: h.schedule for n, h in self._handles.items()}
+        for kern in self.ir.kernels:
+            scheds.setdefault(kern.name, Schedule(kern))
+        return scheds
+
+    # -- configuration -----------------------------------------------------------
+    def set_mpi_grid(self, shape: Sequence[int]) -> "StencilProgram":
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != self.ir.ndim:
+            raise ValueError(
+                f"MPI grid is {len(shape)}-D for a {self.ir.ndim}-D stencil"
+            )
+        self.mpi_grid = shape
+        return self
+
+    def set_initial(self, planes: Sequence[np.ndarray]) -> "StencilProgram":
+        """Provide the W-1 initial history planes (t = 0 .. W-2)."""
+        self._initial = [np.asarray(p) for p in planes]
+        return self
+
+    def set_input(self, name: str, data: np.ndarray) -> "StencilProgram":
+        """Provide data for an auxiliary (time-invariant) tensor."""
+        self._inputs[name] = np.asarray(data)
+        return self
+
+    def set_scalar(self, name: str, value: float) -> "StencilProgram":
+        """Bind a runtime scalar coefficient (a free DefVar symbol)."""
+        self._scalars[name] = float(value)
+        return self
+
+    def input(self, mpi_shape: Optional[Sequence[int]],
+              tensor: SpNode, data) -> "StencilProgram":
+        """Paper-flavoured config (Listing 1 line 14): MPI shape + data.
+
+        ``data`` may be an ndarray (used for every history plane), a
+        list of planes, or the string ``"random"`` for seeded random
+        initial conditions.
+        """
+        if mpi_shape is not None:
+            self.set_mpi_grid(mpi_shape)
+        need = self.ir.required_time_window - 1
+        if isinstance(data, str):
+            rng = np.random.default_rng(42)
+            planes = [
+                rng.random(tensor.shape).astype(tensor.dtype.np_dtype)
+                for _ in range(need)
+            ]
+        elif isinstance(data, np.ndarray):
+            planes = [data] * need
+        else:
+            planes = list(data)
+        return self.set_initial(planes)
+
+    # -- execution -----------------------------------------------------------
+    def _require_initial(self) -> List[np.ndarray]:
+        if self._initial is None:
+            raise RuntimeError(
+                "no initial data: call set_initial()/input() first"
+            )
+        return self._initial
+
+    def run(self, timesteps: int, scheduled: bool = True) -> np.ndarray:
+        """Execute ``timesteps`` sweeps, returning the newest plane.
+
+        With an MPI grid configured, runs distributed over the simulated
+        MPI runtime (every rank in-process) and returns the gathered
+        global result; otherwise runs single-node.  ``scheduled=False``
+        forces the untiled serial reference.
+        """
+        init = self._require_initial()
+        if self.mpi_grid is not None and int(np.prod(self.mpi_grid)) > 1:
+            from ..runtime.executor import distributed_run
+
+            return distributed_run(
+                self.ir, init, timesteps, self.mpi_grid,
+                boundary=self.boundary, inputs=self._inputs or None,
+                scalars=self._scalars or None,
+            )
+        from ..backend.numpy_backend import ScheduledExecutor, reference_run
+
+        if not scheduled:
+            return reference_run(
+                self.ir, init, timesteps, self.boundary,
+                inputs=self._inputs or None,
+                scalars=self._scalars or None,
+            )
+        ex = ScheduledExecutor(
+            self.ir, self.schedules(), self.boundary,
+            inputs=self._inputs or None,
+            scalars=self._scalars or None,
+        )
+        return ex.run(init, timesteps)
+
+    # -- code generation ------------------------------------------------------
+    def compile_to_source_code(self, name: str,
+                               target: str = "cpu"):
+        """AOT-generate the C bundle + Makefile (Listing 1 line 16)."""
+        from ..backend.targets import generate
+
+        return generate(
+            self.ir, self.schedules(), name, target=target,
+            boundary=self.boundary,
+            use_mpi=self.mpi_grid is not None,
+            mpi_grid=self.mpi_grid,
+            scalars=self._scalars or None,
+        )
+
+    # -- simulation -----------------------------------------------------------
+    def simulate(self, machine: str = "sunway", timesteps: int = 1):
+        """Timing simulation on a named machine (sunway/matrix/cpu)."""
+        from ..machine import simulate_cpu, simulate_matrix, simulate_sunway
+        from ..machine.spec import machine_by_name
+
+        scheds = self.schedules()
+        sched = scheds[self.ir.kernels[0].name]
+        if machine == "sunway":
+            return simulate_sunway(self.ir, sched, timesteps)
+        if machine == "matrix":
+            return simulate_matrix(self.ir, sched, timesteps)
+        if machine == "cpu":
+            return simulate_cpu(self.ir, sched, timesteps)
+        spec = machine_by_name(machine)
+        if spec.cacheless:
+            from ..machine import SunwaySimulator
+
+            return SunwaySimulator(spec).run(self.ir, sched, timesteps)
+        from ..machine import CacheMachineSimulator
+
+        return CacheMachineSimulator(spec).run(self.ir, sched, timesteps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StencilProgram({self.ir!r}, mpi={self.mpi_grid})"

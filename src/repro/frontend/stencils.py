@@ -1,0 +1,172 @@
+"""The benchmark stencil suite of Table 4, plus builder helpers.
+
+Eight representative stencils spanning shapes (star/box), dimensions
+(2D/3D) and orders, each with two time dependencies, exactly as the
+paper evaluates::
+
+    2d9pt_star  2d9pt_box  2d121pt_box  2d169pt_box
+    3d7pt_star  3d13pt_star  3d25pt_star  3d31pt_star
+
+Coefficient conventions (they determine the op counts reported next to
+Table 4's): *star* stencils use the standard high-order finite-
+difference form — one coefficient per (axis, distance) pair applied to
+the symmetric neighbour sum; *box* stencils use one distinct
+coefficient per point.  Coefficients are deterministic and normalised
+so iteration is numerically stable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.dtypes import DType, f64
+from ..ir.expr import Expr
+from ..ir.tensor import SpNode
+from .dsl import Kernel, KernelHandle, StencilProgram, indices
+
+__all__ = [
+    "BenchmarkDef",
+    "star_kernel",
+    "box_kernel",
+    "build_benchmark",
+    "benchmark_by_name",
+    "ALL_BENCHMARKS",
+    "BENCHMARK_NAMES",
+]
+
+_VAR_NAMES = {2: ("j", "i"), 3: ("k", "j", "i")}
+
+
+def _coefficients(n: int) -> List[float]:
+    """n deterministic coefficients with |sum| <= 1 (stable iteration)."""
+    raw = [((7 * idx + 3) % 19 + 1) / 19.0 for idx in range(n)]
+    total = sum(raw)
+    return [r / (1.25 * total) for r in raw]
+
+
+def star_kernel(name: str, tensor: SpNode, radius: int) -> KernelHandle:
+    """Star stencil: centre plus ±1..±radius along each axis.
+
+    One distinct coefficient per point (the convention that reproduces
+    Table 4's op counts for the low-order rows; see EXPERIMENTS.md for
+    the high-order deltas).
+    """
+    ndim = tensor.ndim
+    loop_vars = indices(_VAR_NAMES[ndim])
+    npoints = 1 + 2 * ndim * radius
+    coef = _coefficients(npoints)
+    expr: Expr = coef[0] * tensor[tuple(loop_vars)]
+    ci = 1
+    for axis in range(ndim):
+        for dist in range(1, radius + 1):
+            for sign in (+1, -1):
+                subs = list(loop_vars)
+                subs[axis] = loop_vars[axis] + sign * dist
+                expr = expr + coef[ci] * tensor[tuple(subs)]
+                ci += 1
+    return Kernel(name, loop_vars, expr)
+
+
+def box_kernel(name: str, tensor: SpNode, radius: int) -> KernelHandle:
+    """Dense box: one distinct coefficient per point of the (2r+1)^d cube."""
+    ndim = tensor.ndim
+    loop_vars = indices(_VAR_NAMES[ndim])
+    offsets = list(itertools.product(range(-radius, radius + 1), repeat=ndim))
+    coef = _coefficients(len(offsets))
+    expr: Optional[Expr] = None
+    for c, off in zip(coef, offsets):
+        subs = tuple(
+            v + o if o else v for v, o in zip(loop_vars, off)
+        )
+        term = c * tensor[subs]
+        expr = term if expr is None else expr + term
+    return Kernel(name, loop_vars, expr)
+
+
+@dataclass(frozen=True)
+class BenchmarkDef:
+    """One Table-4 benchmark: metadata plus paper-reported values."""
+
+    name: str
+    ndim: int
+    shape: str  # "star" | "box"
+    radius: int
+    points: int
+    paper_read_bytes: int
+    paper_write_bytes: int
+    paper_ops: int
+    time_dependencies: int
+    default_grid: Tuple[int, ...]
+
+    def build(self, grid: Optional[Sequence[int]] = None,
+              dtype: DType = f64,
+              boundary: str = "zero") -> Tuple[StencilProgram, KernelHandle]:
+        """Instantiate the benchmark as a ready StencilProgram.
+
+        The default grid is the paper's (4096² / 256³); pass a smaller
+        ``grid`` for functional runs.  The stencil combines the kernel
+        at t-1 and t-2 (two time dependencies, as in Table 4).
+        """
+        shape = tuple(grid) if grid is not None else self.default_grid
+        if len(shape) != self.ndim:
+            raise ValueError(
+                f"{self.name} is {self.ndim}-D; got grid {shape}"
+            )
+        for s in shape:
+            if s < 2 * self.radius + 1:
+                raise ValueError(
+                    f"grid extent {s} too small for radius {self.radius}"
+                )
+        tensor = SpNode(
+            "B", shape, dtype, halo=(self.radius,) * self.ndim,
+            time_window=3,
+        )
+        builder = star_kernel if self.shape == "star" else box_kernel
+        handle = builder(f"S_{self.name}", tensor, self.radius)
+        t = StencilProgram.t
+        prog = StencilProgram(
+            tensor, 0.6 * handle[t - 1] + 0.4 * handle[t - 2],
+            boundary=boundary,
+        )
+        return prog, handle
+
+
+ALL_BENCHMARKS: Tuple[BenchmarkDef, ...] = (
+    BenchmarkDef("2d9pt_star", 2, "star", 2, 9, 72, 8, 17, 2, (4096, 4096)),
+    BenchmarkDef("2d9pt_box", 2, "box", 1, 9, 72, 8, 17, 2, (4096, 4096)),
+    BenchmarkDef("2d121pt_box", 2, "box", 5, 121, 968, 8, 231, 2,
+                 (4096, 4096)),
+    BenchmarkDef("2d169pt_box", 2, "box", 6, 169, 1352, 8, 325, 2,
+                 (4096, 4096)),
+    BenchmarkDef("3d7pt_star", 3, "star", 1, 7, 56, 8, 13, 2,
+                 (256, 256, 256)),
+    BenchmarkDef("3d13pt_star", 3, "star", 2, 13, 104, 8, 17, 2,
+                 (256, 256, 256)),
+    BenchmarkDef("3d25pt_star", 3, "star", 4, 25, 200, 8, 41, 2,
+                 (256, 256, 256)),
+    BenchmarkDef("3d31pt_star", 3, "star", 5, 31, 248, 8, 50, 2,
+                 (256, 256, 256)),
+)
+
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(b.name for b in ALL_BENCHMARKS)
+
+_BY_NAME: Dict[str, BenchmarkDef] = {b.name: b for b in ALL_BENCHMARKS}
+
+
+def benchmark_by_name(name: str) -> BenchmarkDef:
+    """Look up a Table-4 benchmark by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {list(BENCHMARK_NAMES)}"
+        ) from None
+
+
+def build_benchmark(name: str, grid: Optional[Sequence[int]] = None,
+                    dtype: DType = f64,
+                    boundary: str = "zero"):
+    """Shortcut: ``build_benchmark("3d7pt_star", grid=(32,32,32))``."""
+    return benchmark_by_name(name).build(grid, dtype, boundary)

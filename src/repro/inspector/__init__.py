@@ -1,0 +1,21 @@
+"""Inspector-executor extension (Sec. 5.6 future work).
+
+Analyses per-cell workload (WRF/POP2-style load imbalance), plans a
+weighted tensor-product decomposition with per-rank schedules, and
+executes it over the simulated MPI runtime.
+"""
+
+from .workload import WorkloadMap, hotspot_weights, ocean_land_mask
+from .inspector import (
+    InspectionPlan,
+    Inspector,
+    decompose_weighted,
+    weighted_cuts,
+)
+from .executor import ExecutionOutcome, execute_plan, step_time_model
+
+__all__ = [
+    "WorkloadMap", "hotspot_weights", "ocean_land_mask",
+    "InspectionPlan", "Inspector", "decompose_weighted", "weighted_cuts",
+    "ExecutionOutcome", "execute_plan", "step_time_model",
+]

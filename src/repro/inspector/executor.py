@@ -1,0 +1,62 @@
+"""The executor phase: run the inspector's plan.
+
+Functionally executes the stencil over the balanced decomposition on
+the simulated MPI runtime (results must equal the uniform run and the
+serial reference), and evaluates the plan's performance under a
+work-proportional cost model (step time = most-loaded rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..ir.stencil import Stencil
+from ..runtime.executor import distributed_run
+from .inspector import InspectionPlan
+from .workload import WorkloadMap
+
+__all__ = ["ExecutionOutcome", "execute_plan", "step_time_model"]
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Result + cost accounting of one executor-phase run."""
+
+    result: np.ndarray
+    imbalance_before: float
+    imbalance_after: float
+    step_cost_uniform: float
+    step_cost_balanced: float
+
+    @property
+    def speedup(self) -> float:
+        return self.step_cost_uniform / self.step_cost_balanced
+
+
+def step_time_model(workload: WorkloadMap,
+                    subdomains: Sequence) -> float:
+    """Per-step cost: the most-loaded rank's total cell weight."""
+    return max(workload.subdomain_cost(sd) for sd in subdomains)
+
+
+def execute_plan(stencil: Stencil, plan: InspectionPlan,
+                 workload: WorkloadMap,
+                 init: Sequence[np.ndarray], timesteps: int,
+                 boundary: str = "zero",
+                 inputs: Optional[Mapping[str, np.ndarray]] = None
+                 ) -> ExecutionOutcome:
+    """Run the balanced decomposition and report the balancing payoff."""
+    result = distributed_run(
+        stencil, init, timesteps, plan.grid, boundary=boundary,
+        inputs=inputs, subdomains=plan.balanced,
+    )
+    return ExecutionOutcome(
+        result=result,
+        imbalance_before=plan.imbalance_before,
+        imbalance_after=plan.imbalance_after,
+        step_cost_uniform=step_time_model(workload, plan.uniform),
+        step_cost_balanced=step_time_model(workload, plan.balanced),
+    )

@@ -1,0 +1,88 @@
+"""Workload maps: per-cell cost weights for load-imbalanced stencils.
+
+The paper's discussion (Sec. 5.6) motivates an inspector-executor
+extension with WRF and POP2, which "suffer from serious load imbalance
+in large-scale execution": not every grid cell costs the same (ocean
+models skip land cells; adaptive physics does more work in active
+regions).  A :class:`WorkloadMap` captures that cost field and provides
+the aggregation the inspector needs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..comm.decomposition import SubDomain
+
+__all__ = ["WorkloadMap", "ocean_land_mask", "hotspot_weights"]
+
+
+class WorkloadMap:
+    """A non-negative per-cell cost field over the global domain."""
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=float)
+        if (weights < 0).any():
+            raise ValueError("workload weights must be non-negative")
+        if weights.sum() <= 0:
+            raise ValueError("workload map is identically zero")
+        self.weights = weights
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.weights.shape
+
+    @property
+    def total(self) -> float:
+        return float(self.weights.sum())
+
+    def subdomain_cost(self, sub: SubDomain) -> float:
+        """Total cost of one sub-domain."""
+        return float(self.weights[sub.slices()].sum())
+
+    def imbalance(self, subdomains: Sequence[SubDomain]) -> float:
+        """max/mean cost ratio over a decomposition (1.0 = perfect)."""
+        costs = [self.subdomain_cost(sd) for sd in subdomains]
+        mean = sum(costs) / len(costs)
+        if mean == 0:
+            raise ValueError("decomposition has zero mean cost")
+        return max(costs) / mean
+
+    def marginal(self, dim: int) -> np.ndarray:
+        """Cost summed over all dimensions except ``dim``."""
+        axes = tuple(d for d in range(self.weights.ndim) if d != dim)
+        return self.weights.sum(axis=axes)
+
+
+def ocean_land_mask(shape: Sequence[int], land_fraction: float = 0.35,
+                    seed: int = 0) -> np.ndarray:
+    """A POP2-style cost field: land cells (no work) in blobs.
+
+    Generates smooth random blobs and thresholds them so roughly
+    ``land_fraction`` of the domain costs (near) zero.
+    """
+    if not 0 <= land_fraction < 1:
+        raise ValueError("land_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    field = rng.random(shape)
+    # smooth with a separable box filter to get blobs
+    for d in range(len(shape)):
+        width = max(3, shape[d] // 8)
+        kernel = np.ones(width) / width
+        field = np.apply_along_axis(
+            lambda m: np.convolve(m, kernel, mode="same"), d, field
+        )
+    threshold = np.quantile(field, land_fraction)
+    return np.where(field >= threshold, 1.0, 0.05)
+
+
+def hotspot_weights(shape: Sequence[int], factor: float = 8.0) -> np.ndarray:
+    """A WRF-style cost field: a hot region costing ``factor``× more."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    weights = np.ones(shape)
+    sl = tuple(slice(0, max(1, s // 3)) for s in shape)
+    weights[sl] = factor
+    return weights

@@ -1,0 +1,105 @@
+"""Nested-loop IR: the ``Axis`` node (Table 2).
+
+An ``Axis`` describes one loop of a loop nest: its identifying variable,
+its order in the nest (0 = outermost), the half-open iteration range
+``[start, end)`` and the stride.  Scheduling primitives (``tile``,
+``reorder``) rewrite axes: ``tile`` splits an axis into an outer and an
+inner axis, ``reorder`` permutes the ``order`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .expr import VarExpr
+
+__all__ = ["Axis"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One loop of a nest.
+
+    Parameters
+    ----------
+    id_var:
+        The loop variable.
+    order:
+        Position in the nest, 0 being outermost.
+    start, end:
+        Half-open iteration bounds.
+    stride:
+        Iteration stride (>= 1).
+    parent:
+        For axes produced by ``tile``: the variable name of the axis
+        that was split, plus which half this is (``"outer"``/``"inner"``).
+    """
+
+    id_var: VarExpr
+    order: int
+    start: int
+    end: int
+    stride: int = 1
+    parent: Optional[str] = None
+    role: Optional[str] = None  # "outer" | "inner" | None
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if self.end < self.start:
+            raise ValueError(
+                f"empty axis range [{self.start}, {self.end}) for "
+                f"{self.id_var.name}"
+            )
+        if self.role not in (None, "outer", "inner"):
+            raise ValueError(f"invalid axis role {self.role!r}")
+
+    @property
+    def name(self) -> str:
+        return self.id_var.name
+
+    @property
+    def extent(self) -> int:
+        """Number of iterations of this loop."""
+        span = self.end - self.start
+        return (span + self.stride - 1) // self.stride
+
+    def with_order(self, order: int) -> "Axis":
+        return replace(self, order=order)
+
+    def split(self, factor: int, outer_name: str, inner_name: str):
+        """Split into (outer, inner) axes with inner extent ``factor``.
+
+        This is the loop-fission core of the ``tile`` primitive
+        (Sec. 4.3): an axis of extent ``N`` becomes an outer axis of
+        extent ``ceil(N/factor)`` and an inner axis of extent
+        ``factor``.
+        """
+        if self.stride != 1:
+            raise ValueError("cannot split a strided axis")
+        if factor < 1:
+            raise ValueError(f"tile factor must be >= 1, got {factor}")
+        n = self.end - self.start
+        if factor > n:
+            raise ValueError(
+                f"tile factor {factor} exceeds axis extent {n} of "
+                f"{self.name}"
+            )
+        n_outer = (n + factor - 1) // factor
+        outer = Axis(
+            VarExpr(outer_name), order=self.order, start=0, end=n_outer,
+            parent=self.name, role="outer",
+        )
+        inner = Axis(
+            VarExpr(inner_name), order=self.order + 1, start=0, end=factor,
+            parent=self.name, role="inner",
+        )
+        return outer, inner
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" {self.role} of {self.parent}" if self.parent else ""
+        return (
+            f"Axis({self.name}: [{self.start},{self.end})"
+            f" order={self.order}{tag})"
+        )

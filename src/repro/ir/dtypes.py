@@ -1,0 +1,82 @@
+"""Scalar data types supported by the MSC DSL.
+
+The paper (Section 4.2) supports three data types: 32-bit integers
+(``i32``), 32-bit floats (``f32``) and 64-bit floats (``f64``).  Each
+:class:`DType` knows its width in bytes, its numpy dtype for the
+executable backend, its C spelling for the AOT code generator, and the
+relative-error tolerance used by the paper's correctness methodology
+(Section 5.1: fp32 results must match the serial code to 1e-5, fp64 to
+1e-10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DType", "i32", "f32", "f64", "ALL_DTYPES", "dtype_from_name"]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar data type.
+
+    Parameters
+    ----------
+    name:
+        The DSL spelling, e.g. ``"f64"``.
+    nbytes:
+        Width in bytes.
+    c_name:
+        The C spelling emitted by the AOT backend, e.g. ``"double"``.
+    is_float:
+        Whether the type is a floating-point type.
+    """
+
+    name: str
+    nbytes: int
+    c_name: str
+    is_float: bool
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype used by the executable backend."""
+        return np.dtype(
+            {"i32": np.int32, "f32": np.float32, "f64": np.float64}[self.name]
+        )
+
+    @property
+    def tolerance(self) -> float:
+        """Relative-error tolerance versus the serial reference (Sec. 5.1)."""
+        if not self.is_float:
+            return 0.0
+        return 1e-5 if self.nbytes == 4 else 1e-10
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType({self.name})"
+
+
+i32 = DType("i32", 4, "int", is_float=False)
+f32 = DType("f32", 4, "float", is_float=True)
+f64 = DType("f64", 8, "double", is_float=True)
+
+ALL_DTYPES = (i32, f32, f64)
+
+_BY_NAME = {dt.name: dt for dt in ALL_DTYPES}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look a :class:`DType` up by its DSL spelling.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not one of ``i32``, ``f32``, ``f64``.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; supported: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,125 @@
+"""Expression-tree traversal and rewriting utilities.
+
+The scheduling primitives (Sec. 4.3) "rewrite the Axis and Expression IR
+in Kernel" — :func:`transform` is the generic bottom-up rewriter they
+use, and the helpers below cover the common rewrites (tensor
+substitution for ``cache_read``/``cache_write``, offset shifting for
+halo-relative addressing, constant folding).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .expr import (
+    AssignExpr,
+    CallFuncExpr,
+    ConstExpr,
+    Expr,
+    IndexExpr,
+    OperatorExpr,
+    TensorAccess,
+    BINARY_OPS,
+    UNARY_OPS,
+)
+
+__all__ = [
+    "transform",
+    "substitute_tensor",
+    "shift_offsets",
+    "fold_constants",
+    "count_nodes",
+]
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Rebuild ``expr`` bottom-up, letting ``fn`` replace any node.
+
+    ``fn`` is called on each node *after* its children have been
+    rebuilt; returning ``None`` keeps the (rebuilt) node.
+    """
+    rebuilt = _rebuild(expr, fn)
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def _rebuild(expr: Expr, fn) -> Expr:
+    if isinstance(expr, OperatorExpr):
+        ops = tuple(transform(o, fn) for o in expr.operands)
+        return OperatorExpr(expr.op, ops)
+    if isinstance(expr, CallFuncExpr):
+        return CallFuncExpr(expr.func, tuple(transform(a, fn) for a in expr.args))
+    if isinstance(expr, AssignExpr):
+        target = transform(expr.target, fn)
+        if not isinstance(target, TensorAccess):
+            raise TypeError("assignment target rewritten to a non-access")
+        return AssignExpr(target, transform(expr.value, fn))
+    # Leaves (Const, Var, Index, TensorAccess, KernelApply) are returned
+    # as-is; fn gets its chance in transform().
+    return expr
+
+
+def substitute_tensor(expr: Expr, mapping: Dict[str, object]) -> Expr:
+    """Replace tensors by name — the core of ``cache_read``/``cache_write``.
+
+    ``mapping`` maps tensor names to replacement tensor nodes (e.g. an
+    SPM buffer TeNode).  Offsets and time offsets are preserved.
+    """
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, TensorAccess) and node.tensor.name in mapping:
+            return TensorAccess(
+                mapping[node.tensor.name], node.indices, node.time_offset
+            )
+        return None
+
+    return transform(expr, fn)
+
+
+def shift_offsets(expr: Expr, shift) -> Expr:
+    """Add a constant per-dimension shift to every tensor access.
+
+    Used when lowering valid-domain coordinates to padded (halo
+    inclusive) buffer coordinates: a halo of width ``h`` shifts every
+    subscript by ``+h``.
+    """
+    shift = tuple(int(s) for s in shift)
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, TensorAccess):
+            if len(shift) != len(node.indices):
+                raise ValueError(
+                    f"shift has {len(shift)} entries for a "
+                    f"{len(node.indices)}-D access"
+                )
+            idxs = tuple(
+                IndexExpr(ix.var, ix.offset + s)
+                for ix, s in zip(node.indices, shift)
+            )
+            return TensorAccess(node.tensor, idxs, node.time_offset)
+        return None
+
+    return transform(expr, fn)
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate operator nodes whose operands are all constants."""
+
+    def fn(node: Expr) -> Optional[Expr]:
+        if isinstance(node, OperatorExpr) and all(
+            isinstance(o, ConstExpr) for o in node.operands
+        ):
+            vals = [o.value for o in node.operands]
+            if node.op in UNARY_OPS:
+                return ConstExpr(UNARY_OPS[node.op](vals[0]))
+            if node.op == "div" and vals[1] == 0:
+                raise ZeroDivisionError("division by constant zero in IR")
+            return ConstExpr(BINARY_OPS[node.op](*vals))
+        return None
+
+    return transform(expr, fn)
+
+
+def count_nodes(expr: Expr, node_type=Expr) -> int:
+    """Count nodes of a given type in an expression tree."""
+    return sum(1 for n in expr.walk() if isinstance(n, node_type))

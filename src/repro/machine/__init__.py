@@ -1,0 +1,42 @@
+"""Machine models: specs, SPM/DMA/cache models, simulators, roofline.
+
+These are the substitution substrate for the paper's hardware (Sunway
+SW26010 core groups, Matrix MT2000+ supernodes, the local CPU server):
+analytical architectural simulators that execute schedule *structure*
+against real resource constraints (SPM capacity, DMA granularity, cache
+working sets) and produce calibrated timings.
+"""
+
+from .spec import (
+    MachineSpec,
+    NetworkSpec,
+    SUNWAY_CG,
+    MATRIX_SN,
+    MATRIX_CHIP,
+    CPU_E5_2680V4,
+    SUNWAY_NETWORK,
+    TIANHE3_NETWORK,
+    machine_by_name,
+)
+from .spm import SPMAllocator, SPMAllocationError, SPMBlock
+from .dma import DMAEngine, DMAStats
+from .cache import CacheModel, TrafficEstimate
+from .report import TimingReport
+from .roofline import Roofline, RooflinePoint
+from .sunway_sim import SunwaySimulator, simulate_sunway
+from .matrix_sim import CacheMachineSimulator, simulate_matrix, simulate_cpu
+from .streaming import StreamingReport, simulate_streaming
+
+__all__ = [
+    "MachineSpec", "NetworkSpec",
+    "SUNWAY_CG", "MATRIX_SN", "MATRIX_CHIP", "CPU_E5_2680V4",
+    "SUNWAY_NETWORK", "TIANHE3_NETWORK", "machine_by_name",
+    "SPMAllocator", "SPMAllocationError", "SPMBlock",
+    "DMAEngine", "DMAStats",
+    "CacheModel", "TrafficEstimate",
+    "TimingReport",
+    "Roofline", "RooflinePoint",
+    "SunwaySimulator", "simulate_sunway",
+    "CacheMachineSimulator", "simulate_matrix", "simulate_cpu",
+    "StreamingReport", "simulate_streaming",
+]

@@ -1,0 +1,91 @@
+"""DMA engine model for cache-less many-core targets.
+
+Sunway CPEs reach main memory through DMA for contiguous blocks
+(Sec. 2.2).  The model charges each transfer a fixed startup plus a
+bandwidth term; the bandwidth is the core's *share* of the CG's memory
+bandwidth when all cores stream simultaneously.  It also keeps traffic
+statistics the simulator reports (transfers, bytes, reuse factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DMAEngine", "DMAStats"]
+
+
+@dataclass
+class DMAStats:
+    """Accumulated DMA activity for one simulated execution."""
+
+    n_gets: int = 0
+    n_puts: int = 0
+    bytes_get: int = 0
+    bytes_put: int = 0
+    time_s: float = 0.0
+
+    @property
+    def n_transfers(self) -> int:
+        return self.n_gets + self.n_puts
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_get + self.bytes_put
+
+    def merge(self, other: "DMAStats") -> "DMAStats":
+        return DMAStats(
+            self.n_gets + other.n_gets,
+            self.n_puts + other.n_puts,
+            self.bytes_get + other.bytes_get,
+            self.bytes_put + other.bytes_put,
+            max(self.time_s, other.time_s),  # engines run in parallel
+        )
+
+
+class DMAEngine:
+    """Per-core DMA engine with a shared-bandwidth cost model.
+
+    Parameters
+    ----------
+    startup_us:
+        Fixed cost per DMA request (descriptor setup + round trip).
+    share_bw_GBs:
+        Sustainable bandwidth for *this core* when all peers stream —
+        i.e. node streaming bandwidth / active cores.
+    min_efficient_bytes:
+        Transfers below this size waste the request (the paper's
+        coalesced-DMA motivation); they are charged as if this size.
+    """
+
+    def __init__(self, startup_us: float, share_bw_GBs: float,
+                 min_efficient_bytes: int = 256):
+        if share_bw_GBs <= 0:
+            raise ValueError("DMA bandwidth share must be positive")
+        self.startup_s = startup_us * 1e-6
+        self.bw = share_bw_GBs * 1e9
+        self.min_bytes = min_efficient_bytes
+        self.stats = DMAStats()
+
+    def _transfer_time(self, nbytes: int) -> float:
+        charged = max(nbytes, self.min_bytes)
+        return self.startup_s + charged / self.bw
+
+    def get(self, nbytes: int) -> float:
+        """Main memory → SPM; returns elapsed seconds."""
+        if nbytes <= 0:
+            raise ValueError(f"DMA get of {nbytes} bytes")
+        t = self._transfer_time(nbytes)
+        self.stats.n_gets += 1
+        self.stats.bytes_get += nbytes
+        self.stats.time_s += t
+        return t
+
+    def put(self, nbytes: int) -> float:
+        """SPM → main memory; returns elapsed seconds."""
+        if nbytes <= 0:
+            raise ValueError(f"DMA put of {nbytes} bytes")
+        t = self._transfer_time(nbytes)
+        self.stats.n_puts += 1
+        self.stats.bytes_put += nbytes
+        self.stats.time_s += t
+        return t

@@ -1,0 +1,50 @@
+"""Timing report produced by the machine simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .dma import DMAStats
+
+__all__ = ["TimingReport"]
+
+
+@dataclass
+class TimingReport:
+    """Result of simulating one stencil execution on one machine.
+
+    Times are per *timestep* unless stated otherwise; ``total_s`` covers
+    the whole run (``timesteps`` sweeps).
+    """
+
+    machine: str
+    stencil: str
+    precision: str
+    timesteps: int
+    compute_s: float  # per-timestep arithmetic time (critical path)
+    memory_s: float  # per-timestep memory/DMA time (critical path)
+    overhead_s: float = 0.0  # per-run fixed overhead (launch, JIT, ...)
+    flops_per_step: float = 0.0
+    dma: Optional[DMAStats] = None
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def step_s(self) -> float:
+        """Per-timestep wall time: memory and compute do not overlap."""
+        return self.compute_s + self.memory_s
+
+    @property
+    def total_s(self) -> float:
+        return self.step_s * self.timesteps + self.overhead_s
+
+    @property
+    def gflops(self) -> float:
+        """Achieved arithmetic rate over the whole run."""
+        if self.total_s <= 0:
+            raise ZeroDivisionError("report has zero elapsed time")
+        return self.flops_per_step * self.timesteps / self.total_s / 1e9
+
+    def speedup_over(self, baseline: "TimingReport") -> float:
+        """Baseline time / this time (>1 means we are faster)."""
+        return baseline.total_s / self.total_s

@@ -1,0 +1,67 @@
+"""Roofline model (Fig. 9).
+
+``attainable(oi) = min(peak, bandwidth × oi)`` — the classic roofline.
+The module classifies each benchmark as memory- or compute-bound
+relative to a machine's ridge point and produces the (x, y) series the
+Fig. 9 bench prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .spec import MachineSpec
+
+__all__ = ["RooflinePoint", "Roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One benchmark placed on the roofline."""
+
+    name: str
+    operational_intensity: float
+    attainable_gflops: float
+    achieved_gflops: float
+    bound: str  # "memory" | "compute"
+
+
+class Roofline:
+    """Roofline for one machine at one precision."""
+
+    def __init__(self, machine: MachineSpec, precision: str = "fp64"):
+        self.machine = machine
+        self.precision = precision
+        self.peak = machine.peak_gflops_for(precision)
+        self.bw = machine.mem_bw_GBs
+
+    @property
+    def ridge_oi(self) -> float:
+        """Operational intensity where the two roofs meet."""
+        return self.peak / self.bw
+
+    def attainable(self, oi: float) -> float:
+        """GFlops ceiling at operational intensity ``oi``."""
+        if oi < 0:
+            raise ValueError(f"operational intensity must be >= 0, got {oi}")
+        return min(self.peak, self.bw * oi)
+
+    def bound(self, oi: float) -> str:
+        return "memory" if oi < self.ridge_oi else "compute"
+
+    def place(self, name: str, oi: float,
+              achieved_gflops: float) -> RooflinePoint:
+        """Place one measured benchmark on the roofline."""
+        ceiling = self.attainable(oi)
+        if achieved_gflops > ceiling * 1.0001:
+            raise ValueError(
+                f"{name}: achieved {achieved_gflops:.1f} GFlops exceeds the "
+                f"roofline ceiling {ceiling:.1f} at OI {oi:.3f} — the "
+                "performance model is inconsistent"
+            )
+        return RooflinePoint(name, oi, ceiling, achieved_gflops, self.bound(oi))
+
+    def roof_series(self, oi_values: Sequence[float]) -> List[Tuple[float, float]]:
+        """(oi, attainable) samples for plotting the roof line."""
+        return [(oi, self.attainable(oi)) for oi in oi_values]

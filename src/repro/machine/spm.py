@@ -1,0 +1,114 @@
+"""Scratchpad-memory (SPM) allocator for cache-less cores.
+
+Each Sunway CPE owns 64 KB of software-managed SPM.  The generated code
+allocates read/write buffers there ("global" scope: once, outside all
+loops — Listing 2); this allocator models that allocation discipline,
+enforces the capacity limit, and reports utilisation (the paper quotes
+78% SPM utilisation for 3d13pt_star, Sec. 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["SPMAllocationError", "SPMAllocator", "SPMBlock"]
+
+
+class SPMAllocationError(MemoryError):
+    """Requested SPM exceeds the scratchpad capacity."""
+
+
+@dataclass(frozen=True)
+class SPMBlock:
+    """One live allocation in the scratchpad."""
+
+    name: str
+    offset: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+
+class SPMAllocator:
+    """Bump allocator with named blocks over a fixed-size scratchpad.
+
+    Alignment is rounded up to ``align`` bytes (DMA on Sunway requires
+    aligned targets).  ``free`` releases a named block; freeing the most
+    recent block reclaims its space immediately, earlier frees leave a
+    hole that ``reset`` clears (matching the "global scope, allocate
+    once" usage pattern of the generated code).
+    """
+
+    def __init__(self, capacity: int, align: int = 32):
+        if capacity <= 0:
+            raise ValueError("SPM capacity must be positive")
+        if align <= 0 or (align & (align - 1)):
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = int(capacity)
+        self.align = align
+        self._blocks: Dict[str, SPMBlock] = {}
+        self._top = 0
+        self.peak = 0
+
+    def _round(self, n: int) -> int:
+        return (n + self.align - 1) & ~(self.align - 1)
+
+    def alloc(self, name: str, nbytes: int) -> SPMBlock:
+        """Allocate a named block; raises :class:`SPMAllocationError`."""
+        if name in self._blocks:
+            raise ValueError(f"SPM block {name!r} already allocated")
+        if nbytes <= 0:
+            raise ValueError(f"block size must be positive, got {nbytes}")
+        size = self._round(nbytes)
+        if self._top + size > self.capacity:
+            raise SPMAllocationError(
+                f"SPM overflow allocating {name!r}: need {size} B at offset "
+                f"{self._top}, capacity {self.capacity} B "
+                f"(live: {sorted(self._blocks)})"
+            )
+        block = SPMBlock(name, self._top, size)
+        self._blocks[name] = block
+        self._top += size
+        self.peak = max(self.peak, self._top)
+        return block
+
+    def free(self, name: str) -> None:
+        try:
+            block = self._blocks.pop(name)
+        except KeyError:
+            raise KeyError(f"no live SPM block named {name!r}") from None
+        if block.end == self._top:
+            # reclaim trailing space, coalescing any holes left by
+            # earlier frees: the bump pointer drops to the highest
+            # still-live block end
+            self._top = max(
+                (b.end for b in self._blocks.values()), default=0
+            )
+
+    def reset(self) -> None:
+        """Free everything (a new kernel launch)."""
+        self._blocks.clear()
+        self._top = 0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def used(self) -> int:
+        return sum(b.nbytes for b in self._blocks.values())
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the scratchpad currently allocated (0..1)."""
+        return self.used / self.capacity
+
+    @property
+    def peak_utilisation(self) -> float:
+        return self.peak / self.capacity
+
+    def blocks(self) -> List[SPMBlock]:
+        return sorted(self._blocks.values(), key=lambda b: b.offset)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks

@@ -1,0 +1,118 @@
+"""Streaming / pipelined execution model (Sec. 5.6).
+
+"MSC should manage the large input data in a streaming and pipelined
+manner so that it can overlap the data access and computation within
+the limited local memory."  This module models exactly that on the
+cache-less targets: tiles stream through the SPM with *double-buffered*
+DMA, so the engine fetches tile ``n+1`` while the CPE computes tile
+``n``:
+
+    serial    : N · (t_dma + t_compute)
+    pipelined : t_dma + N · max(t_dma, t_compute) + t_put
+
+Double buffering doubles the SPM footprint, so deep pipelines force
+smaller tiles — the capacity/overlap trade-off the ablation bench
+sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ir.stencil import Stencil
+from ..ir.analysis import stencil_flops_per_point
+from ..schedule.schedule import Schedule
+from .report import TimingReport
+from .spec import MachineSpec, SUNWAY_CG
+from .spm import SPMAllocator
+
+__all__ = ["StreamingReport", "simulate_streaming"]
+
+
+@dataclass(frozen=True)
+class StreamingReport:
+    """Comparison of serial vs pipelined tile streaming."""
+
+    serial: TimingReport
+    pipelined_step_s: float
+    spm_bytes_single: int
+    spm_bytes_double: int
+    dma_bound: bool
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serial step time / pipelined step time (>= 1)."""
+        return self.serial.step_s / self.pipelined_step_s
+
+
+def simulate_streaming(stencil: Stencil, schedule: Schedule,
+                       machine: MachineSpec = SUNWAY_CG,
+                       timesteps: int = 1) -> StreamingReport:
+    """Model double-buffered tile streaming for a Sunway-style target.
+
+    Raises :class:`~repro.machine.spm.SPMAllocationError` when the
+    doubled buffers do not fit the scratchpad (the caller should shrink
+    the tile, as the ablation bench demonstrates).
+    """
+    from .sunway_sim import SunwaySimulator
+
+    serial = SunwaySimulator(machine).run(stencil, schedule, timesteps)
+    out = stencil.output
+    nest = schedule.lower(out.shape)
+
+    elem = out.dtype.nbytes
+    rad = stencil.radius
+    tile_shape = nest.tile_shape()
+    kernel_planes = len(
+        {a.time_offset
+         for app in stencil.applications
+         for a in app.kernel.accesses}
+    )
+    tile_pts = 1
+    padded_pts = 1
+    for s, r in zip(tile_shape, rad):
+        tile_pts *= s
+        padded_pts *= s + 2 * r
+
+    read_bytes = padded_pts * elem * kernel_planes
+    write_bytes = tile_pts * elem
+    single = read_bytes + write_bytes
+    double = 2 * single
+    # verify double-buffering actually fits the scratchpad
+    spm = SPMAllocator(machine.spm_bytes)
+    spm.alloc("ping_read", read_bytes)
+    spm.alloc("ping_write", write_bytes)
+    spm.alloc("pong_read", read_bytes)  # raises on overflow
+    spm.alloc("pong_write", write_bytes)
+
+    ncpe = min(nest.nthreads, machine.cores_per_node)
+    bw_share = machine.mem_bw_GBs * machine.stream_efficiency * 1e9 / ncpe
+    t_dma = (
+        2 * machine.dma_startup_us * 1e-6
+        + (read_bytes + write_bytes) / bw_share
+    )
+    n_sweeps = len(stencil.applications)
+    flops_pp = stencil_flops_per_point(stencil)
+    precision_scale = 2.0 if elem == 4 else 1.0
+    cpe_flops = (
+        machine.core_gflops() * machine.scalar_flop_efficiency
+        * precision_scale * 1e9
+    )
+    t_compute = tile_pts * flops_pp / n_sweeps / cpe_flops
+
+    visits = math.ceil(nest.ntiles / ncpe) * n_sweeps
+    pipelined = t_dma + visits * max(t_dma, t_compute) + t_dma
+    # MPE commit pass is unchanged
+    commit = 3.0 * nest.npoints() * elem / (
+        machine.mem_bw_GBs * machine.stream_efficiency * 1e9
+    )
+    pipelined += commit
+
+    return StreamingReport(
+        serial=serial,
+        pipelined_step_s=pipelined,
+        spm_bytes_single=single,
+        spm_bytes_double=double,
+        dma_bound=t_dma >= t_compute,
+    )

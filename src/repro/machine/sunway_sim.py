@@ -1,0 +1,187 @@
+"""Architectural simulator for one Sunway SW26010 core group.
+
+Executes the *structure* of an MSC schedule against the CG's
+constraints and produces a :class:`~repro.machine.report.TimingReport`:
+
+1. lower the schedule, check legality (SPM capacity, DMA placement),
+2. allocate the cache_read/cache_write buffers in a per-CPE
+   :class:`~repro.machine.spm.SPMAllocator` (global scope: once),
+3. distribute tiles round-robin over the 64 CPEs (Sec. 4.3 ``parallel``),
+4. per tile: DMA-get one (tile + halo) block per time plane read,
+   compute, DMA-put the tile,
+5. the timestep's critical path is the most-loaded CPE.
+
+The CPEs share the CG's DMA bandwidth, so each engine is provisioned
+with ``mem_bw × stream_efficiency / active_cpes``.  Compute uses the
+CPE's scalar-efficiency-derated peak; stencils are memory-bound on this
+machine (Fig. 9a), so the DMA term dominates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.stencil import Stencil
+from ..ir.analysis import stencil_flops_per_point
+from ..schedule.legality import check_schedule
+from ..schedule.schedule import Schedule
+from .dma import DMAEngine, DMAStats
+from .report import TimingReport
+from .spec import SUNWAY_CG, MachineSpec
+from .spm import SPMAllocator
+
+__all__ = ["SunwaySimulator", "simulate_sunway"]
+
+
+class SunwaySimulator:
+    """Timing/resource simulator for one CG."""
+
+    def __init__(self, machine: MachineSpec = SUNWAY_CG):
+        if not machine.cacheless:
+            raise ValueError(
+                "SunwaySimulator models a cache-less SPM machine; got "
+                f"{machine.name}"
+            )
+        self.machine = machine
+
+    #: effective bandwidth of CPE register communication relative to the
+    #: per-core DMA share (register comm moves rim data between
+    #: neighbouring CPEs' scratchpads without touching main memory; cf.
+    #: the on-chip halo exchange of the cited earthquake simulation)
+    REGISTER_COMM_SPEEDUP = 8.0
+
+    def run(self, stencil: Stencil, schedule: Schedule,
+            timesteps: int = 1, on_chip_halo: bool = False) -> TimingReport:
+        """Simulate ``timesteps`` sweeps of ``stencil`` under ``schedule``.
+
+        With ``on_chip_halo=True``, the tile rim (the halo overlap
+        between adjacent tiles) is served by CPE register communication
+        instead of redundant DMA: main-memory reads shrink to the tile
+        interior, and the rim moves at ``REGISTER_COMM_SPEEDUP`` × the
+        DMA share.
+        """
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        m = self.machine
+        out = stencil.output
+        nest = schedule.lower(out.shape)
+        check_schedule(schedule, nest, m)
+
+        elem = out.dtype.nbytes
+        precision = "fp32" if elem == 4 else "fp64"
+        n_sweeps = len(stencil.applications)
+        rad = stencil.radius
+        tile_shape = nest.tile_shape()
+
+        # --- SPM allocation (global scope: one allocation per CPE) ----------
+        # Each application runs as its own sweep spawn, so the read
+        # buffer stages one padded tile (per plane the kernel itself
+        # reads — normally one).
+        kernel_planes = len(
+            {a.time_offset
+             for app in stencil.applications
+             for a in app.kernel.accesses}
+        )
+        spm = SPMAllocator(m.spm_bytes)
+        bindings = schedule.cache_bindings()
+        for b in bindings:
+            if b.kind == "read":
+                n = 1
+                for s, r in zip(tile_shape, rad):
+                    n *= s + 2 * r
+                spm.alloc(b.buffer, n * elem * kernel_planes)
+            else:
+                n = 1
+                for s in tile_shape:
+                    n *= s
+                spm.alloc(b.buffer, n * elem)
+        spm_util = spm.utilisation
+
+        # --- tile distribution over CPEs ------------------------------------
+        ncpe = min(nest.nthreads, m.cores_per_node)
+        ntiles = nest.ntiles
+        tiles_worst_cpe = math.ceil(ntiles / ncpe)
+
+        # --- per-tile-visit costs (one visit per tile per sweep) -------------
+        bw_share = m.mem_bw_GBs * m.stream_efficiency / ncpe
+        engine = DMAEngine(m.dma_startup_us, bw_share)
+        tile_pts = 1
+        padded_pts = 1
+        for s, r in zip(tile_shape, rad):
+            tile_pts *= s
+            padded_pts *= s + 2 * r
+
+        dma_visit_s = 0.0
+        if on_chip_halo:
+            rim_bytes = (padded_pts - tile_pts) * elem
+            for _ in range(kernel_planes):
+                dma_visit_s += engine.get(tile_pts * elem)
+            # the rim arrives from neighbouring CPEs' SPM via register
+            # communication — far faster than a memory round trip
+            register_bw = engine.bw * self.REGISTER_COMM_SPEEDUP
+            dma_visit_s += kernel_planes * rim_bytes / register_bw
+        else:
+            for _ in range(kernel_planes):
+                dma_visit_s += engine.get(padded_pts * elem)
+        dma_visit_s += engine.put(tile_pts * elem)
+
+        flops_pp = stencil_flops_per_point(stencil)
+        # explicit vectorization lifts the inner loop off the scalar
+        # pipeline (256-bit CPE vectors; imperfect due to shuffles)
+        flop_eff = m.scalar_flop_efficiency
+        if nest.vectorized_axis is not None:
+            flop_eff = min(0.9, m.scalar_flop_efficiency * 2.4)
+        cpe_gflops = (
+            m.core_gflops() * flop_eff
+            * (2.0 if precision == "fp32" else 1.0)
+        )
+        compute_visit_s = (
+            tile_pts * flops_pp / n_sweeps / (cpe_gflops * 1e9)
+        )
+
+        memory_step = dma_visit_s * tiles_worst_cpe * n_sweeps
+        compute_step = compute_visit_s * tiles_worst_cpe * n_sweeps
+        # the MPE commits the accumulated result into the window plane
+        commit_bytes = 3.0 * nest.npoints() * elem  # read acc+plane, write
+        memory_step += commit_bytes / (m.mem_bw_GBs * m.stream_efficiency * 1e9)
+
+        # aggregate DMA stats across CPEs for the whole run
+        visits = ntiles * n_sweeps * timesteps
+        per_run = DMAStats(
+            n_gets=engine.stats.n_gets * visits,
+            n_puts=engine.stats.n_puts * visits,
+            bytes_get=engine.stats.bytes_get * visits,
+            bytes_put=engine.stats.bytes_put * visits,
+            time_s=memory_step * timesteps,
+        )
+
+        # data reuse: stencil reads per loaded element within one sweep
+        reuse = (
+            max(a.kernel.npoints for a in stencil.applications)
+            * tile_pts / (padded_pts * kernel_planes)
+        )
+
+        return TimingReport(
+            machine=m.name,
+            stencil=getattr(stencil.output, "name", "stencil"),
+            precision=precision,
+            timesteps=timesteps,
+            compute_s=compute_step,
+            memory_s=memory_step,
+            flops_per_step=flops_pp * nest.npoints(),
+            dma=per_run,
+            details={
+                "ntiles": float(ntiles),
+                "tiles_per_cpe": float(tiles_worst_cpe),
+                "spm_utilisation": spm_util,
+                "reuse_factor": reuse,
+                "active_cpes": float(ncpe),
+            },
+        )
+
+
+def simulate_sunway(stencil: Stencil, schedule: Schedule,
+                    timesteps: int = 1,
+                    machine: MachineSpec = SUNWAY_CG) -> TimingReport:
+    """Convenience wrapper: simulate on one Sunway CG."""
+    return SunwaySimulator(machine).run(stencil, schedule, timesteps)

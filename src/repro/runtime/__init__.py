@@ -1,0 +1,23 @@
+"""Execution runtime: simulated MPI, the network timing model, and the
+distributed stencil executor."""
+
+from .simmpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CartComm,
+    Communicator,
+    Request,
+    SimMPIError,
+    run_ranks,
+)
+from .network import NetworkModel, ScalePoint, scaling_run
+from .topology import ExchangeLoad, Topology, fat_tree, route_exchange, torus
+from .executor import DistributedStencil, distributed_run
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "CartComm", "Communicator", "Request",
+    "SimMPIError", "run_ranks",
+    "NetworkModel", "ScalePoint", "scaling_run",
+    "ExchangeLoad", "Topology", "fat_tree", "route_exchange", "torus",
+    "DistributedStencil", "distributed_run",
+]

@@ -1,0 +1,238 @@
+"""Distributed stencil execution over the simulated MPI runtime.
+
+``distributed_run`` executes a stencil across an MPI process grid with
+real data: every rank owns a sub-domain (Fig. 6a), keeps a local
+sliding time window, exchanges halos through the communication library
+after producing each plane, and rank 0 gathers the global result.  The
+output must match the single-node serial reference exactly — that
+equivalence is the core integration test of the communication library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backend.numpy_backend import evaluate_kernel
+from ..comm.decomposition import SubDomain, decompose
+from ..comm.halo import HaloSpec
+from ..ir.stencil import Stencil
+from ..ir.validate import validate_stencil
+from .simmpi import CartComm, run_ranks
+
+__all__ = ["distributed_run", "DistributedStencil"]
+
+
+def _zero_unowned_edges(plane: np.ndarray, spec: HaloSpec,
+                        comm: CartComm) -> None:
+    """Zero the ghost strips on global (neighbour-less) boundaries.
+
+    Window planes are recycled, so stale ghosts must be cleared wherever
+    the exchange will not overwrite them.
+    """
+    ndim = len(spec.sub_shape)
+    for d in range(ndim):
+        h = spec.halo[d]
+        if h == 0:
+            continue
+        src, dst = comm.Shift(d, 1)
+        if src < 0:
+            sl = [slice(None)] * ndim
+            sl[d] = slice(0, h)
+            plane[tuple(sl)] = 0
+        if dst < 0:
+            sl = [slice(None)] * ndim
+            sl[d] = slice(spec.padded_shape[d] - h, spec.padded_shape[d])
+            plane[tuple(sl)] = 0
+
+
+class DistributedStencil:
+    """Per-rank state and stepping logic for one distributed stencil."""
+
+    def __init__(self, stencil: Stencil, comm: CartComm,
+                 subdomains: Sequence[SubDomain],
+                 boundary: str = "zero",
+                 exchanger: str = "async",
+                 scalars=None):
+        if boundary not in ("zero", "periodic"):
+            raise ValueError(
+                "distributed runs support zero/periodic boundaries, got "
+                f"{boundary!r}"
+            )
+        validate_stencil(stencil)
+        self.stencil = stencil
+        self.comm = comm
+        self.boundary = boundary
+        self.sub = subdomains[comm.rank]
+        out = stencil.output
+        self.spec = HaloSpec(self.sub.shape, out.halo)
+        from ..comm.library import create_exchanger  # breaks an import cycle
+
+        self.exchanger = create_exchanger(exchanger, comm, self.spec)
+        w = out.time_window
+        self._planes = np.zeros(
+            (w, *self.spec.padded_shape), dtype=out.dtype.np_dtype
+        )
+        self._held = [-(10 ** 9)] * w
+        self.newest = -1
+        self._static: Dict[Tuple[str, int], np.ndarray] = {}
+        self._halos: Dict[str, Tuple[int, ...]] = {out.name: out.halo}
+        self._scalars = dict(scalars) if scalars else {}
+
+    # -- plane management -----------------------------------------------------
+    def plane(self, t: int) -> np.ndarray:
+        w = self.stencil.output.time_window
+        slot = t % w
+        if self._held[slot] != t:
+            raise KeyError(f"timestep {t} not live in the window")
+        return self._planes[slot]
+
+    def _interior(self, padded: np.ndarray) -> np.ndarray:
+        return padded[self.spec.interior()]
+
+    def _refresh_ghosts(self, plane: np.ndarray) -> None:
+        _zero_unowned_edges(plane, self.spec, self.comm)
+        self.exchanger.exchange(plane)
+
+    def seed(self, t: int, global_plane: np.ndarray) -> None:
+        """Install one initial history plane from the global array."""
+        w = self.stencil.output.time_window
+        slot = t % w
+        self._planes[slot].fill(0)
+        self._interior(self._planes[slot])[...] = (
+            global_plane[self.sub.slices()]
+        )
+        self._held[slot] = t
+        self.newest = max(self.newest, t)
+        self._refresh_ghosts(self._planes[slot])
+
+    def set_static_input(self, name: str, tensor,
+                         global_data: np.ndarray) -> None:
+        """Scatter an auxiliary (time-invariant) tensor with its halo."""
+        halo = getattr(tensor, "halo", (0,) * tensor.ndim)
+        spec = HaloSpec(self.sub.shape, tuple(halo))
+        padded = np.zeros(spec.padded_shape, dtype=tensor.dtype.np_dtype)
+        padded[spec.interior()] = global_data[self.sub.slices()]
+        if any(h > 0 for h in halo):
+            from ..comm.library import create_exchanger
+
+            ex = create_exchanger("async", self.comm, spec)
+            _zero_unowned_edges(padded, spec, self.comm)
+            ex.exchange(padded)
+        for off in (0, -1, -2, -3, -4):
+            self._static[(name, off)] = padded
+        self._halos[name] = tuple(halo)
+
+    # -- stepping ---------------------------------------------------------------
+    def step(self) -> None:
+        out = self.stencil.output
+        t = self.newest + 1
+        region = [(0, s) for s in self.sub.shape]
+        acc = np.zeros(self.sub.shape, dtype=out.dtype.np_dtype)
+        for scale, app in self.stencil.combination_terms():
+            planes = dict(self._static)
+            planes[(out.name, 0)] = self.plane(t + app.time_offset)
+            for extra in range(1, out.time_window):
+                held = t + app.time_offset - extra
+                if held >= 0:
+                    try:
+                        planes[(out.name, -extra)] = self.plane(held)
+                    except KeyError:
+                        pass
+            val = evaluate_kernel(app.kernel, planes, self._halos, region,
+                                  scalars=self._scalars)
+            acc += np.asarray(scale * val, dtype=out.dtype.np_dtype)
+        w = out.time_window
+        slot = t % w
+        self._held[slot] = t
+        self.newest = t
+        self._interior(self._planes[slot])[...] = acc
+        self._refresh_ghosts(self._planes[slot])
+
+    def local_result(self) -> np.ndarray:
+        return self._interior(self.plane(self.newest)).copy()
+
+
+def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
+                    timesteps: int, grid: Sequence[int],
+                    boundary: str = "zero",
+                    inputs: Optional[Mapping[str, np.ndarray]] = None,
+                    exchanger: str = "async",
+                    subdomains: Optional[Sequence[SubDomain]] = None,
+                    scalars=None) -> np.ndarray:
+    """Run ``timesteps`` sweeps over an MPI grid; return the global result.
+
+    ``init`` are the W-1 global initial planes.  Uses the named
+    exchange strategy from the communication-library registry.  A
+    custom rectilinear (tensor-product) ``subdomains`` list — e.g. the
+    inspector's load-balanced decomposition — may replace the default
+    uniform split; it must match ``grid``'s rank ordering.
+    """
+    grid = tuple(int(g) for g in grid)
+    out = stencil.output
+    if len(grid) != out.ndim:
+        raise ValueError(
+            f"MPI grid is {len(grid)}-D for a {out.ndim}-D stencil"
+        )
+    nprocs = 1
+    for g in grid:
+        nprocs *= g
+    if subdomains is None:
+        subdomains = decompose(out.shape, grid)
+    else:
+        subdomains = list(subdomains)
+        if len(subdomains) != nprocs:
+            raise ValueError(
+                f"custom decomposition has {len(subdomains)} sub-domains "
+                f"for {nprocs} ranks"
+            )
+    # every sub-domain must be at least as wide as the halo so the
+    # inner-halo strips do not overlap
+    for sd in subdomains:
+        for s, h in zip(sd.shape, out.halo):
+            if s < h:
+                raise ValueError(
+                    f"sub-domain {sd.shape} narrower than halo {out.halo}; "
+                    "use a smaller MPI grid"
+                )
+    need = stencil.required_time_window - 1
+    if len(init) != need:
+        raise ValueError(f"need {need} initial planes, got {len(init)}")
+    init = [np.asarray(p, dtype=out.dtype.np_dtype) for p in init]
+    aux_tensors = {}
+    for kern in stencil.kernels:
+        for tensor in kern.input_tensors:
+            if tensor.name != out.name:
+                aux_tensors[tensor.name] = tensor
+    for name in aux_tensors:
+        if inputs is None or name not in inputs:
+            raise ValueError(f"missing data for auxiliary tensor {name!r}")
+
+    periods = tuple(boundary == "periodic" for _ in grid)
+
+    def rank_main(comm: CartComm):
+        dist = DistributedStencil(
+            stencil, comm, subdomains, boundary, exchanger,
+            scalars=scalars,
+        )
+        for name, tensor in aux_tensors.items():
+            dist.set_static_input(name, tensor, np.asarray(inputs[name]))
+        for t, plane in enumerate(init):
+            dist.seed(t, plane)
+        for _ in range(timesteps):
+            dist.step()
+        pieces = comm.gather(
+            (dist.sub.rank, dist.local_result()), root=0
+        )
+        if comm.rank != 0:
+            return None
+        result = np.zeros(out.shape, dtype=out.dtype.np_dtype)
+        for item in pieces:
+            rank, data = item
+            sd = subdomains[int(rank)]
+            result[sd.slices()] = data
+        return result
+
+    results = run_ranks(nprocs, rank_main, cart_dims=grid, periods=periods)
+    return results[0]

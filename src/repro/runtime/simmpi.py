@@ -1,0 +1,384 @@
+"""Simulated MPI: an in-process message-passing runtime.
+
+mpi4py is not available in this environment, so the communication
+library runs on this runtime instead: every rank is a Python thread,
+messages are numpy-buffer copies matched by ``(source, tag)`` in FIFO
+order, and the API mirrors mpi4py's buffer interface (``Send``/
+``Recv``/``Isend``/``Irecv``/``Sendrecv``, ``Barrier``, ``Bcast``,
+``Allreduce``, ``Gather``, plus Cartesian communicators with
+``Shift``).  Functional behaviour — who receives which bytes — is
+exactly MPI's; timing comes from the separate
+:mod:`~repro.runtime.network` model.
+
+Deadlock safety: every blocking receive carries a timeout (default
+60 s); expiry raises :class:`SimMPIError` in the offending rank and the
+run reports it instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SimMPIError", "Request", "Communicator", "CartComm", "run_ranks"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_DEFAULT_TIMEOUT = 60.0
+
+
+class SimMPIError(RuntimeError):
+    """A communication error in the simulated MPI runtime."""
+
+
+class _World:
+    """Shared state of one simulated MPI world."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.lock = threading.Condition()
+        # mailbox per destination: deque of (source, tag, ndarray copy)
+        self.mail: List[deque] = [deque() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.bcast_slots: Dict[int, Any] = {}
+        self.reduce_slots: Dict[str, list] = {}
+        self.failed = threading.Event()
+        # traffic accounting (bytes by (src, dst))
+        self.traffic: Dict[Tuple[int, int], int] = {}
+
+    def post(self, source: int, dest: int, tag: int,
+             data: np.ndarray) -> None:
+        with self.lock:
+            self.mail[dest].append((source, tag, data))
+            key = (source, dest)
+            self.traffic[key] = self.traffic.get(key, 0) + data.nbytes
+            self.lock.notify_all()
+
+    def take(self, dest: int, source: int, tag: int,
+             timeout: float) -> Tuple[int, int, np.ndarray]:
+        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        with self.lock:
+            waited = 0.0
+            step = 0.05
+            while True:
+                box = self.mail[dest]
+                for idx, (src, tg, data) in enumerate(box):
+                    if (source in (ANY_SOURCE, src)
+                            and tag in (ANY_TAG, tg)):
+                        del box[idx]
+                        return src, tg, data
+                if self.failed.is_set():
+                    raise SimMPIError(
+                        f"rank {dest}: peer failed while waiting for a "
+                        f"message from {source} tag {tag}"
+                    )
+                if waited >= deadline:
+                    raise SimMPIError(
+                        f"rank {dest}: timeout waiting for message from "
+                        f"{source} tag {tag} (likely deadlock)"
+                    )
+                self.lock.wait(step)
+                waited += step
+
+
+class Request:
+    """A nonblocking-operation handle (mpi4py-style)."""
+
+    def __init__(self, fn: Optional[Callable[[float], Any]] = None,
+                 done: bool = True, value: Any = None):
+        self._fn = fn
+        self._done = done
+        self._value = value
+
+    def Wait(self, timeout: float = _DEFAULT_TIMEOUT) -> Any:
+        if not self._done:
+            self._value = self._fn(timeout)
+            self._done = True
+        return self._value
+
+    wait = Wait
+
+    def Test(self) -> bool:
+        if self._done:
+            return True
+        try:
+            self._value = self._fn(0.0)
+            self._done = True
+        except SimMPIError:
+            return False
+        return True
+
+    test = Test
+
+    @staticmethod
+    def Waitall(requests: Sequence["Request"],
+                timeout: float = _DEFAULT_TIMEOUT) -> None:
+        for req in requests:
+            req.Wait(timeout)
+
+
+class Communicator:
+    """One rank's endpoint into the simulated world."""
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- rank info (mpi4py spelling) ------------------------------------------
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- point to point ----------------------------------------------------------
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise SimMPIError(
+                f"rank {self.rank}: invalid peer {peer} "
+                f"(world size {self.size})"
+            )
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffered send: the payload is copied at send time."""
+        self._check_peer(dest)
+        data = np.ascontiguousarray(buf).copy()
+        self._world.post(self.rank, dest, tag, data)
+
+    def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG,
+             timeout: float = _DEFAULT_TIMEOUT) -> Tuple[int, int, int]:
+        """Receive into ``buf``; returns (source, tag, count).
+
+        As in MPI, the message may be *smaller* than the receive buffer
+        (the prefix is filled and ``count`` reports the element count);
+        a larger message is a truncation error.
+        """
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        src, tg, data = self._world.take(self.rank, source, tag, timeout)
+        flat = buf.reshape(-1)
+        if data.size > flat.size:
+            raise SimMPIError(
+                f"rank {self.rank}: message truncation — message from "
+                f"{src} tag {tg} has {data.size} elements, receive buffer "
+                f"only {flat.size}"
+            )
+        flat[: data.size] = data.reshape(-1)
+        return src, tg, data.size
+
+    def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (buffered: completes immediately)."""
+        self.Send(buf, dest, tag)
+        return Request(done=True)
+
+    def Irecv(self, buf: np.ndarray, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive completing at Wait()."""
+
+        def complete(timeout: float):
+            return self.Recv(buf, source, tag, timeout=timeout)
+
+        return Request(fn=complete, done=False)
+
+    def Sendrecv(self, sendbuf: np.ndarray, dest: int,
+                 recvbuf: np.ndarray, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> None:
+        """Combined send+receive (deadlock-free)."""
+        self.Send(sendbuf, dest, sendtag)
+        self.Recv(recvbuf, source, recvtag)
+
+    # -- collectives -----------------------------------------------------------
+    def Barrier(self, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        try:
+            self._world.barrier.wait(timeout)
+        except threading.BrokenBarrierError:
+            raise SimMPIError(
+                f"rank {self.rank}: barrier broken (peer failure/timeout)"
+            ) from None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Generic-object broadcast."""
+        world = self._world
+        with world.lock:
+            if self.rank == root:
+                world.bcast_slots[root] = obj
+                world.lock.notify_all()
+            else:
+                waited = 0.0
+                while root not in world.bcast_slots:
+                    world.lock.wait(0.05)
+                    waited += 0.05
+                    if waited > _DEFAULT_TIMEOUT:
+                        raise SimMPIError("bcast timeout")
+                obj = world.bcast_slots[root]
+        self.Barrier()
+        if self.rank == root:
+            with world.lock:
+                world.bcast_slots.pop(root, None)
+        self.Barrier()
+        return obj
+
+    def allreduce(self, value, op: str = "sum"):
+        """Scalar all-reduce: op in {sum, max, min}."""
+        if op not in ("sum", "max", "min"):
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        world = self._world
+        key = f"reduce-{op}"
+        with world.lock:
+            slot = world.reduce_slots.setdefault(key, [None] * self.size)
+            slot[self.rank] = value
+        self.Barrier()
+        with world.lock:
+            vals = world.reduce_slots[key]
+            fn = {"sum": sum, "max": max, "min": min}[op]
+            result = fn(vals)
+        self.Barrier()
+        if self.rank == 0:
+            with world.lock:
+                world.reduce_slots.pop(key, None)
+        self.Barrier()
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Generic-object gather to ``root``."""
+        tag = 1 << 20
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[self.rank] = obj
+            for _ in range(self.size - 1):
+                src, _, data = self._world.take(
+                    self.rank, ANY_SOURCE, tag, _DEFAULT_TIMEOUT
+                )
+                out[src] = data.item(0)
+            return out
+        # objects ride the numpy mailbox inside 1-element object arrays
+        box = np.empty(1, dtype=object)
+        box[0] = obj
+        self._world.post(self.rank, root, tag, box)
+        return None
+
+    # -- topology -----------------------------------------------------------------
+    def Create_cart(self, dims: Sequence[int],
+                    periods: Optional[Sequence[bool]] = None) -> "CartComm":
+        return CartComm(self._world, self.rank, tuple(dims), periods)
+
+    # -- accounting ----------------------------------------------------------------
+    def traffic_bytes(self) -> int:
+        """Total bytes this world has moved so far."""
+        with self._world.lock:
+            return sum(self._world.traffic.values())
+
+
+class CartComm(Communicator):
+    """Cartesian communicator: row-major rank ↔ coordinates mapping."""
+
+    def __init__(self, world: _World, rank: int, dims: Tuple[int, ...],
+                 periods: Optional[Sequence[bool]] = None):
+        super().__init__(world, rank)
+        n = 1
+        for d in dims:
+            if d < 1:
+                raise ValueError(f"invalid cart dims {dims}")
+            n *= d
+        if n != world.size:
+            raise ValueError(
+                f"cart dims {dims} require {n} ranks, world has {world.size}"
+            )
+        self.dims = dims
+        self.periods = (
+            tuple(bool(p) for p in periods)
+            if periods is not None else (False,) * len(dims)
+        )
+        if len(self.periods) != len(dims):
+            raise ValueError("periods length must match dims")
+
+    def Get_coords(self, rank: int) -> Tuple[int, ...]:
+        coords = []
+        rem = rank
+        for d in reversed(self.dims):
+            coords.append(rem % d)
+            rem //= d
+        return tuple(reversed(coords))
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        rank = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                c %= d
+            if not 0 <= c < d:
+                raise ValueError(
+                    f"coordinate {c} out of range for extent {d} "
+                    "(non-periodic)"
+                )
+            rank = rank * d + c
+        return rank
+
+    def Shift(self, direction: int, disp: int = 1) -> Tuple[int, int]:
+        """(source, dest) ranks for a shift; -1 marks 'no neighbour'."""
+        coords = list(self.Get_coords(self.rank))
+
+        def neighbour(delta: int) -> int:
+            c = list(coords)
+            c[direction] += delta
+            if self.periods[direction]:
+                c[direction] %= self.dims[direction]
+            elif not 0 <= c[direction] < self.dims[direction]:
+                return -1
+            return self.Get_cart_rank(c)
+
+        return neighbour(-disp), neighbour(+disp)
+
+
+def run_ranks(nprocs: int, main: Callable[[Communicator], Any],
+              cart_dims: Optional[Sequence[int]] = None,
+              periods: Optional[Sequence[bool]] = None,
+              timeout: float = 120.0) -> List[Any]:
+    """Run ``main(comm)`` on ``nprocs`` simulated ranks; return results.
+
+    This is the ``mpiexec -n`` of the simulated runtime.  If any rank
+    raises, the first exception is re-raised after all threads stop.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    world = _World(nprocs)
+    results: List[Any] = [None] * nprocs
+    errors: List[Tuple[int, BaseException]] = []
+
+    def entry(rank: int) -> None:
+        try:
+            comm: Communicator = Communicator(world, rank)
+            if cart_dims is not None:
+                comm = CartComm(world, rank, tuple(cart_dims), periods)
+            results[rank] = main(comm)
+        except BaseException as exc:  # noqa: BLE001 - report to caller
+            errors.append((rank, exc))
+            world.failed.set()
+            world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=entry, args=(r,), name=f"simmpi-rank-{r}")
+        for r in range(nprocs)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join(timeout)
+        if th.is_alive():
+            world.failed.set()
+            world.barrier.abort()
+            raise SimMPIError(
+                f"{th.name} did not finish within {timeout}s (deadlock?)"
+            )
+    if errors:
+        # prefer the root cause: secondary SimMPIErrors (broken barriers,
+        # peer-failure aborts) are consequences, not causes
+        primary = [e for e in errors if not isinstance(e[1], SimMPIError)]
+        rank, exc = sorted(primary or errors, key=lambda e: e[0])[0]
+        raise SimMPIError(f"rank {rank} failed: {exc!r}") from exc
+    return results

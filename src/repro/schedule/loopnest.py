@@ -1,0 +1,200 @@
+"""The transformed loop nest produced by lowering a schedule.
+
+A :class:`LoopNest` is the bridge between the scheduling primitives and
+the backends: it lists the axes in their final nesting order (after
+``tile`` and ``reorder``), knows which axis is parallelised and with how
+many threads, and can enumerate the spatial *tiles* the nest visits —
+which is exactly what both the C code generator and the tile-by-tile
+numpy executor need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ir.axis import Axis
+
+__all__ = ["LoopNest", "Tile"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangular tile: per-original-variable half-open bounds."""
+
+    bounds: Tuple[Tuple[str, int, int], ...]  # (var, lo, hi) outermost first
+    linear_id: int
+
+    def extent(self, var: str) -> Tuple[int, int]:
+        for name, lo, hi in self.bounds:
+            if name == var:
+                return lo, hi
+        raise KeyError(var)
+
+    @property
+    def npoints(self) -> int:
+        n = 1
+        for _, lo, hi in self.bounds:
+            n *= hi - lo
+        return n
+
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(hi - lo for _, lo, hi in self.bounds)
+
+
+@dataclass
+class LoopNest:
+    """A scheduled loop nest over a rectangular domain.
+
+    Parameters
+    ----------
+    axes:
+        Axes in final nesting order (outermost first).
+    domain:
+        Per original loop variable, its half-open extent, in the
+        kernel's declaration order (outermost first).
+    tile_factors:
+        Per original loop variable, the tile (inner) size; variables
+        that were not tiled map to their full extent.
+    parallel_axis:
+        Name of the parallelised axis (must be in ``axes``), if any.
+    nthreads:
+        Thread/core count for the parallel axis.
+    """
+
+    axes: List[Axis]
+    domain: Dict[str, Tuple[int, int]]
+    tile_factors: Dict[str, int] = field(default_factory=dict)
+    parallel_axis: Optional[str] = None
+    nthreads: int = 1
+    vectorized_axis: Optional[str] = None
+    unroll_factors: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [ax.name for ax in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axes in loop nest: {names}")
+        if self.parallel_axis is not None and self.parallel_axis not in names:
+            raise ValueError(
+                f"parallel axis {self.parallel_axis!r} not in nest {names}"
+            )
+        if self.vectorized_axis is not None and (
+                self.vectorized_axis not in names):
+            raise ValueError(
+                f"vectorized axis {self.vectorized_axis!r} not in nest"
+            )
+        for ax in self.unroll_factors:
+            if ax not in names:
+                raise ValueError(f"unrolled axis {ax!r} not in nest")
+        if self.nthreads < 1:
+            raise ValueError("nthreads must be >= 1")
+
+    # -- structure queries -------------------------------------------------------
+    @property
+    def axis_names(self) -> List[str]:
+        return [ax.name for ax in self.axes]
+
+    def axis(self, name: str) -> Axis:
+        for ax in self.axes:
+            if ax.name == name:
+                return ax
+        raise KeyError(f"no axis {name!r} in loop nest")
+
+    @property
+    def outer_axes(self) -> List[Axis]:
+        """Tile-enumerating axes (role 'outer'), or the full loops if untiled."""
+        outers = [ax for ax in self.axes if ax.role == "outer"]
+        if outers:
+            return outers
+        return list(self.axes)
+
+    @property
+    def inner_axes(self) -> List[Axis]:
+        return [ax for ax in self.axes if ax.role == "inner"]
+
+    @property
+    def ntiles(self) -> int:
+        n = 1
+        for ax in self.outer_axes:
+            n *= ax.extent
+        return n
+
+    def tile_shape(self) -> Tuple[int, ...]:
+        """Tile extents in the *domain's* variable order."""
+        return tuple(
+            self.tile_factors.get(var, hi - lo)
+            for var, (lo, hi) in self.domain.items()
+        )
+
+    # -- tile enumeration ----------------------------------------------------------
+    def iter_tiles(self) -> Iterator[Tile]:
+        """Enumerate tiles in nest order of the outer axes.
+
+        Tiles are clipped to the domain, so edge tiles may be smaller
+        when a tile factor does not divide the extent.
+        """
+        outers = [ax for ax in self.axes if ax.role == "outer"]
+        if not outers:
+            # untiled nest: a single tile covering the whole domain
+            yield Tile(
+                tuple((v, lo, hi) for v, (lo, hi) in self.domain.items()),
+                linear_id=0,
+            )
+            return
+        ranges = [range(ax.extent) for ax in outers]
+        untiled = [
+            (v, lo, hi)
+            for v, (lo, hi) in self.domain.items()
+            if v not in {ax.parent for ax in outers}
+        ]
+        for lid, combo in enumerate(itertools.product(*ranges)):
+            bounds = {}
+            for ax, oi in zip(outers, combo):
+                var = ax.parent
+                factor = self.tile_factors[var]
+                dlo, dhi = self.domain[var]
+                lo = dlo + oi * factor
+                hi = min(lo + factor, dhi)
+                bounds[var] = (lo, hi)
+            ordered = []
+            for v, (lo, hi) in self.domain.items():
+                if v in bounds:
+                    ordered.append((v, *bounds[v]))
+            for v, lo, hi in untiled:
+                ordered.append((v, lo, hi))
+            # keep domain declaration order
+            ordered.sort(
+                key=lambda b: list(self.domain.keys()).index(b[0])
+            )
+            yield Tile(tuple(ordered), linear_id=lid)
+
+    def tiles_for_worker(self, worker: int, nworkers: int) -> Iterator[Tile]:
+        """Tiles assigned to one worker by the paper's cyclic mapping.
+
+        Sec. 4.3: tasks whose ``mod(task_id, N) == my_id`` run on core
+        ``my_id`` — a round-robin distribution over the tile sequence.
+        """
+        if not 0 <= worker < nworkers:
+            raise ValueError(f"worker {worker} out of range [0, {nworkers})")
+        for tile in self.iter_tiles():
+            if tile.linear_id % nworkers == worker:
+                yield tile
+
+    # -- cost-model helpers -----------------------------------------------------------
+    def npoints(self) -> int:
+        n = 1
+        for lo, hi in self.domain.values():
+            n *= hi - lo
+        return n
+
+    def describe(self) -> str:
+        """Human-readable nest summary (used in logs and docs)."""
+        lines = []
+        for depth, ax in enumerate(self.axes):
+            par = " [parallel]" if ax.name == self.parallel_axis else ""
+            lines.append(
+                "  " * depth
+                + f"for {ax.name} in [{ax.start}, {ax.end}){par}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Scheduling primitive records (Sec. 4.3, Table 2 'Primitive' row).
+
+Each primitive invocation on a kernel's schedule is recorded as one of
+the dataclasses below; :class:`~repro.schedule.schedule.Schedule`
+accumulates them and lowers the result to a
+:class:`~repro.schedule.loopnest.LoopNest` plus cache/DMA bindings.
+
+Primitives:
+
+- ``tile(factor, ax_outer, ax_inner)`` — loop fission of one axis,
+- ``reorder(ax, ...)`` — permute the nest for locality,
+- ``parallel(ax, n_threads)`` — map an axis across cores,
+- ``cache_read(tensor, buffer, scope)`` — bind an input to an SPM
+  read buffer,
+- ``cache_write(buffer, scope)`` — bind the output to an SPM write
+  buffer,
+- ``compute_at(buffer, axis)`` — place the DMA transfer of a buffer at
+  a loop level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "TilePrim",
+    "ReorderPrim",
+    "ParallelPrim",
+    "CacheReadPrim",
+    "CacheWritePrim",
+    "ComputeAtPrim",
+    "BUFFER_SCOPES",
+]
+
+#: Valid buffer scopes.  ``"global"`` allocates the SPM buffer outside
+#: all loops (one malloc for the whole kernel, as in Listing 2);
+#: ``"local"`` re-allocates per tile.
+BUFFER_SCOPES = ("global", "local")
+
+
+@dataclass(frozen=True)
+class TilePrim:
+    """Split axis ``var`` into ``outer``/``inner`` with inner extent ``factor``."""
+
+    var: str
+    factor: int
+    outer: str
+    inner: str
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError(
+                f"tile factor for {self.var!r} must be >= 1, got {self.factor}"
+            )
+        if self.outer == self.inner:
+            raise ValueError("outer and inner axis names must differ")
+
+
+@dataclass(frozen=True)
+class ReorderPrim:
+    """Reorder the nest to the given axis names, outermost first."""
+
+    order: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.order)) != len(self.order):
+            raise ValueError(f"duplicate axes in reorder: {self.order}")
+
+
+@dataclass(frozen=True)
+class ParallelPrim:
+    """Distribute axis ``axis`` over ``nthreads`` cores (round-robin)."""
+
+    axis: str
+    nthreads: int
+
+    def __post_init__(self) -> None:
+        if self.nthreads < 1:
+            raise ValueError(f"nthreads must be >= 1, got {self.nthreads}")
+
+
+@dataclass(frozen=True)
+class CacheReadPrim:
+    """Bind input ``tensor`` to SPM read buffer ``buffer``."""
+
+    tensor: str
+    buffer: str
+    scope: str = "global"
+
+    def __post_init__(self) -> None:
+        if self.scope not in BUFFER_SCOPES:
+            raise ValueError(
+                f"invalid buffer scope {self.scope!r}; choose from "
+                f"{BUFFER_SCOPES}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheWritePrim:
+    """Bind the kernel output to SPM write buffer ``buffer``."""
+
+    buffer: str
+    scope: str = "global"
+
+    def __post_init__(self) -> None:
+        if self.scope not in BUFFER_SCOPES:
+            raise ValueError(
+                f"invalid buffer scope {self.scope!r}; choose from "
+                f"{BUFFER_SCOPES}"
+            )
+
+
+@dataclass(frozen=True)
+class ComputeAtPrim:
+    """Issue the DMA for ``buffer`` at the head/tail of loop ``axis``."""
+
+    buffer: str
+    axis: str
+
+
+@dataclass(frozen=True)
+class VectorizePrim:
+    """Map axis ``axis`` onto the SIMD lanes (innermost loops only).
+
+    The paper's background (Sec. 1) notes vectorization "leverages the
+    loop unrolling and data layout transformation to utilize better the
+    SIMD units"; MSC lowers this to the target's SIMD idiom
+    (``#pragma omp simd`` in the generated C).
+    """
+
+    axis: str
+
+
+@dataclass(frozen=True)
+class UnrollPrim:
+    """Unroll loop ``axis`` by ``factor`` (emitted as an unroll pragma)."""
+
+    axis: str
+    factor: int
+
+    def __post_init__(self) -> None:
+        if self.factor < 2:
+            raise ValueError(
+                f"unroll factor must be >= 2, got {self.factor}"
+            )

@@ -1,0 +1,131 @@
+"""Overlapped temporal tiling (Sec. 2.1's "overlapped tilling").
+
+The paper's background surveys temporal tiling schemes that trade
+redundant computation for fewer synchronisations: a tile extended by
+``T·r`` ghost cells per side can advance ``T`` timesteps locally before
+touching its neighbours again, because incorrect values entering from
+the extension's rim travel at most ``r`` cells per step — after ``T``
+steps the garbage front has just reached the tile boundary and the tile
+interior is exact.
+
+This module plans such tiles (extension widths, validity shrink per
+step, redundancy accounting); the executor lives in
+:mod:`repro.backend.temporal_exec`.  The plan doubles as the analytical
+model for the temporal-tiling ablation bench: at what halo-exchange
+cost does trading redundant flops for communication rounds pay off?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..ir.stencil import Stencil
+
+__all__ = ["TemporalTilePlan", "plan_temporal_tiles"]
+
+
+@dataclass(frozen=True)
+class TemporalTilePlan:
+    """Tiling of one domain for ``time_block`` locally-advanced steps."""
+
+    domain: Tuple[int, ...]
+    tile: Tuple[int, ...]
+    radius: Tuple[int, ...]
+    time_block: int
+
+    def __post_init__(self) -> None:
+        if self.time_block < 1:
+            raise ValueError("time_block must be >= 1")
+        if len(self.tile) != len(self.domain):
+            raise ValueError("tile rank mismatch")
+        for t, d in zip(self.tile, self.domain):
+            if not 1 <= t <= d:
+                raise ValueError(
+                    f"tile extent {t} invalid for domain extent {d}"
+                )
+
+    @property
+    def extension(self) -> Tuple[int, ...]:
+        """Ghost width per side: ``time_block × radius``."""
+        return tuple(self.time_block * r for r in self.radius)
+
+    @property
+    def gathered_shape(self) -> Tuple[int, ...]:
+        """Per-tile working extent, extension included (interior tiles)."""
+        return tuple(
+            t + 2 * e for t, e in zip(self.tile, self.extension)
+        )
+
+    def valid_margin_after(self, steps: int) -> Tuple[int, ...]:
+        """Ghost cells still *correct* after ``steps`` local steps."""
+        if not 0 <= steps <= self.time_block:
+            raise ValueError(
+                f"steps must be in [0, {self.time_block}], got {steps}"
+            )
+        return tuple(
+            e - steps * r for e, r in zip(self.extension, self.radius)
+        )
+
+    # -- cost accounting ---------------------------------------------------------
+    @property
+    def tiles_per_dim(self) -> Tuple[int, ...]:
+        return tuple(-(-d // t) for d, t in zip(self.domain, self.tile))
+
+    @property
+    def ntiles(self) -> int:
+        n = 1
+        for c in self.tiles_per_dim:
+            n *= c
+        return n
+
+    @property
+    def useful_points(self) -> int:
+        n = 1
+        for d in self.domain:
+            n *= d
+        return n * self.time_block
+
+    @property
+    def computed_points(self) -> int:
+        """Points computed including the redundant trapezoid rim.
+
+        Per local step ``s`` (1-based) a tile computes its gathered
+        extent shrunk by ``s·r`` per side (only still-valid cells need
+        computing); summed over the block and over tiles.
+        """
+        total = 0
+        for s in range(1, self.time_block + 1):
+            per_tile = 1
+            for t, e, r in zip(self.tile, self.extension, self.radius):
+                per_tile *= t + 2 * (e - s * r)
+            total += per_tile * self.ntiles
+        return total
+
+    @property
+    def redundancy(self) -> float:
+        """computed / useful — the overlapped-tiling overhead (>= 1)."""
+        return self.computed_points / self.useful_points
+
+    def exchanges_saved(self) -> int:
+        """Halo-exchange rounds avoided per block versus step-by-step."""
+        return self.time_block - 1
+
+
+def plan_temporal_tiles(stencil: Stencil, tile: Sequence[int],
+                        time_block: int) -> TemporalTilePlan:
+    """Build a plan for ``stencil`` over its output domain."""
+    plan = TemporalTilePlan(
+        domain=stencil.output.shape,
+        tile=tuple(int(t) for t in tile),
+        radius=stencil.radius,
+        time_block=int(time_block),
+    )
+    # a kernel application must never read beyond the gathered region
+    for t, e in zip(plan.tile, plan.extension):
+        if e > 0 and t + 2 * e > 4 * max(plan.domain):
+            raise ValueError(
+                "time_block too deep for this tile: gathered region "
+                f"({plan.gathered_shape}) is degenerate"
+            )
+    return plan

@@ -1,0 +1,78 @@
+"""Shared fixtures for the MSC test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import SpNode, Kernel, Stencil, VarExpr, f64
+from repro.schedule import Schedule
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def vars3d():
+    return VarExpr("k"), VarExpr("j"), VarExpr("i")
+
+
+@pytest.fixture
+def vars2d():
+    return VarExpr("j"), VarExpr("i")
+
+
+def make_3d7pt(shape=(16, 16, 16), dtype=f64, time_window=3,
+               name="B"):
+    """A 3d7pt kernel over a fresh tensor; returns (tensor, kernel)."""
+    k, j, i = VarExpr("k"), VarExpr("j"), VarExpr("i")
+    tensor = SpNode(name, shape, dtype, halo=(1, 1, 1),
+                    time_window=time_window)
+    kern = Kernel(
+        "S_3d7pt", (k, j, i),
+        0.4 * tensor[k, j, i]
+        + 0.1 * tensor[k, j, i - 1] + 0.1 * tensor[k, j, i + 1]
+        + 0.1 * tensor[k - 1, j, i] + 0.1 * tensor[k + 1, j, i]
+        + 0.05 * tensor[k, j - 1, i] + 0.05 * tensor[k, j + 1, i],
+    )
+    return tensor, kern
+
+
+def make_2d5pt(shape=(16, 16), dtype=f64, time_window=2, name="A"):
+    j, i = VarExpr("j"), VarExpr("i")
+    tensor = SpNode(name, shape, dtype, halo=(1, 1),
+                    time_window=time_window)
+    kern = Kernel(
+        "S_2d5pt", (j, i),
+        0.5 * tensor[j, i]
+        + 0.125 * (tensor[j, i - 1] + tensor[j, i + 1]
+                   + tensor[j - 1, i] + tensor[j + 1, i]),
+    )
+    return tensor, kern
+
+
+@pytest.fixture
+def stencil_3d7pt_2dep():
+    """3d7pt with two time dependencies over a 16^3 grid."""
+    tensor, kern = make_3d7pt()
+    t = Stencil.t
+    return Stencil(tensor, 0.6 * kern[t - 1] + 0.4 * kern[t - 2])
+
+
+@pytest.fixture
+def stencil_2d5pt_1dep():
+    tensor, kern = make_2d5pt()
+    t = Stencil.t
+    return Stencil(tensor, kern[t - 1])
+
+
+@pytest.fixture
+def tiled_schedule_3d(stencil_3d7pt_2dep):
+    kern = stencil_3d7pt_2dep.kernels[0]
+    sched = Schedule(kern)
+    sched.tile(4, 8, 16, "xo", "xi", "yo", "yi", "zo", "zi")
+    sched.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+    sched.parallel("xo", 4)
+    return sched

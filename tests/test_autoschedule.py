@@ -1,0 +1,81 @@
+"""Tests for the automatic schedule generator."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import auto_schedule, candidate_tiles
+from repro.backend.numpy_backend import ScheduledExecutor, reference_run
+from repro.frontend import ALL_BENCHMARKS, build_benchmark
+from repro.machine import simulate_matrix, simulate_sunway
+from repro.machine.spec import CPU_E5_2680V4, MATRIX_SN, SUNWAY_CG
+from repro.schedule import check_schedule
+from repro.ir import Kernel, SpNode, Stencil, VarExpr
+
+
+class TestCandidateTiles:
+    def test_power_of_two_within_shape(self):
+        for tile in candidate_tiles((16, 256)):
+            assert all(t & (t - 1) == 0 for t in tile)
+            assert tile[0] <= 16 and tile[1] <= 256
+
+    def test_prefers_long_unit_stride(self):
+        tiles = candidate_tiles((64, 64, 64))
+        assert tiles[0][-1] == 64  # longest inner extent first
+
+    def test_bounded_count(self):
+        assert len(candidate_tiles((256, 256, 256))) <= 200
+
+
+class TestAutoSchedule:
+    @pytest.mark.parametrize("bench", ALL_BENCHMARKS,
+                             ids=lambda b: b.name)
+    def test_legal_on_sunway_for_all_benchmarks(self, bench):
+        prog, _ = bench.build()
+        sched = auto_schedule(prog.ir, SUNWAY_CG)
+        check_schedule(sched, sched.lower(prog.ir.output.shape), SUNWAY_CG)
+        # SPM staging present on the cache-less target
+        assert sched.uses_spm
+        assert sched.nthreads == 64
+        assert sched.vectorized_axis is not None
+
+    def test_cache_machine_needs_no_spm(self):
+        prog, _ = build_benchmark("3d7pt_star")
+        sched = auto_schedule(prog.ir, MATRIX_SN)
+        assert not sched.uses_spm
+        assert sched.nthreads == MATRIX_SN.cores_per_node
+
+    def test_simulates_no_slower_than_table5(self):
+        from repro.evalsuite.harness import build_with_schedule
+
+        prog, _ = build_benchmark("3d13pt_star")
+        auto = auto_schedule(prog.ir, SUNWAY_CG)
+        t_auto = simulate_sunway(prog.ir, auto).step_s
+        prog5, h5 = build_with_schedule("3d13pt_star", "sunway")
+        t_table = simulate_sunway(prog5.ir, h5.schedule).step_s
+        assert t_auto <= t_table * 1.2
+
+    def test_results_unchanged_by_auto_schedule(self, rng):
+        prog, _ = build_benchmark("3d7pt_star", grid=(16, 16, 16),
+                                  boundary="periodic")
+        sched = auto_schedule(prog.ir, CPU_E5_2680V4)
+        kern = prog.ir.kernels[0]
+        init = [rng.random((16, 16, 16)) for _ in range(2)]
+        ref = reference_run(prog.ir, init, 3, boundary="periodic")
+        got = ScheduledExecutor(
+            prog.ir, {kern.name: sched}, boundary="periodic"
+        ).run(init, 3)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_infeasible_radius_reported(self):
+        # a stencil whose radius makes even a 1-wide tile overflow SPM
+        i = VarExpr("i")
+        B = SpNode("B", (40000,), halo=(9000,), time_window=2)
+        kern = Kernel("wide", (i,), B[i - 9000] + B[i + 9000])
+        st = Stencil(B, kern[Stencil.t - 1])
+        with pytest.raises(ValueError, match="no feasible tile"):
+            auto_schedule(st, SUNWAY_CG)
+
+    def test_vectorize_optional(self):
+        prog, _ = build_benchmark("2d9pt_star")
+        sched = auto_schedule(prog.ir, MATRIX_SN, vectorize=False)
+        assert sched.vectorized_axis is None

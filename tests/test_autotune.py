@@ -1,0 +1,146 @@
+"""Tests for the auto-tuning subsystem (Sec. 4.4, Fig. 11)."""
+
+import pytest
+
+from repro.autotune import (
+    AutoTuner,
+    PerformanceModel,
+    TuningConfig,
+    simulated_annealing,
+)
+from repro.frontend import build_benchmark
+from repro.machine.spec import SUNWAY_CG, SUNWAY_NETWORK
+
+
+class TestTuningConfig:
+    def test_nprocs(self):
+        cfg = TuningConfig((2, 8, 64), (4, 4, 8))
+        assert cfg.nprocs == 128
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            TuningConfig((2, 8), (4, 4, 8))
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            TuningConfig((0, 8), (4, 4))
+
+
+class TestPerformanceModel:
+    def _samples(self):
+        model = PerformanceModel((128, 128, 128), (1, 1, 1))
+        configs = []
+        times = []
+        for tx in (2, 4, 8):
+            for grid in ((8, 2, 1), (4, 2, 2), (16, 1, 1)):
+                cfg = TuningConfig((tx, 8, 32), grid)
+                feats = model.features(cfg)
+                # synthetic linear ground truth over the features
+                times.append(float(feats @ [1, 2, 3, 4, 5, 6, 7]) * 1e-9)
+                configs.append(cfg)
+        return model, configs, times
+
+    def test_fit_recovers_linear_function(self):
+        model, configs, times = self._samples()
+        model.fit(configs, times)
+        assert model.score(configs, times) > 0.999
+
+    def test_predict_before_fit_raises(self):
+        model = PerformanceModel((64, 64), (1, 1))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(TuningConfig((8, 8), (2, 2)))
+
+    def test_too_few_samples(self):
+        model = PerformanceModel((64, 64), (1, 1))
+        cfgs = [TuningConfig((8, 8), (2, 2))]
+        with pytest.raises(ValueError, match="samples"):
+            model.fit(cfgs, [1.0])
+
+    def test_features_monotone_in_halo_overhead(self):
+        model = PerformanceModel((128, 128), (2, 2))
+        small = model.features(TuningConfig((2, 2), (1, 1)))
+        large = model.features(TuningConfig((64, 64), (1, 1)))
+        idx = model.FEATURE_NAMES.index("halo_overhead")
+        assert small[idx] > large[idx]
+
+
+class TestAnnealing:
+    def test_finds_global_minimum_of_convex_energy(self):
+        axes = [list(range(20)), list(range(20))]
+
+        def energy(x, y):
+            return (x - 7) ** 2 + (y - 3) ** 2 + 1.0
+
+        res = simulated_annealing(axes, energy, iterations=5000, seed=1)
+        best = tuple(axes[d][i] for d, i in enumerate(res.best_state))
+        assert best == (7, 3)
+        assert res.best_energy == 1.0
+
+    def test_history_monotone_nonincreasing(self):
+        axes = [list(range(10))]
+        res = simulated_annealing(
+            axes, lambda x: float((x - 5) ** 2 + 1), iterations=1000, seed=2
+        )
+        values = [v for _, v in res.history]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_deterministic_under_seed(self):
+        axes = [list(range(16)), list(range(16))]
+
+        def energy(x, y):
+            return abs(x - 9) + abs(y - 2) + 0.5
+
+        r1 = simulated_annealing(axes, energy, iterations=800, seed=7)
+        r2 = simulated_annealing(axes, energy, iterations=800, seed=7)
+        assert r1.best_state == r2.best_state
+        assert r1.history == r2.history
+
+    def test_improvement_ratio(self):
+        axes = [list(range(50))]
+        res = simulated_annealing(
+            axes, lambda x: float(x + 1), iterations=2000, seed=0
+        )
+        assert res.best_energy == 1.0
+        assert res.improvement == res.initial_energy
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            simulated_annealing([[]], lambda: 0, iterations=10)
+
+
+class TestAutoTuner:
+    @pytest.fixture(scope="class")
+    def tuner(self):
+        prog, _ = build_benchmark("3d7pt_star", grid=(512, 128, 128))
+        return AutoTuner(prog.ir, (512, 128, 128), nprocs=8,
+                         machine=SUNWAY_CG, network=SUNWAY_NETWORK)
+
+    def test_measure_rejects_spm_overflow(self, tuner):
+        too_big = TuningConfig((64, 64, 64), (8, 1, 1))
+        assert tuner.measure(too_big) == float("inf")
+
+    def test_measure_finite_for_feasible(self, tuner):
+        cfg = TuningConfig((2, 8, 64), (8, 1, 1))
+        t = tuner.measure(cfg)
+        assert 0 < t < 1.0
+
+    def test_tune_improves_over_random_start(self, tuner):
+        res = tuner.tune(iterations=1500, seed=0, n_samples=30)
+        assert res.best_time <= res.initial_time
+        assert res.improvement >= 1.0
+        assert res.best.nprocs == 8
+
+    def test_surrogate_quality(self, tuner):
+        res = tuner.tune(iterations=500, seed=3, n_samples=30)
+        assert res.model_r2 > 0.8
+
+    def test_two_runs_converge_to_similar_quality(self, tuner):
+        # Fig. 11: two independent runs reach comparable optima
+        r1 = tuner.tune(iterations=1500, seed=0, n_samples=30)
+        r2 = tuner.tune(iterations=1500, seed=1, n_samples=30)
+        assert abs(r1.best_time - r2.best_time) / r1.best_time < 0.35
+
+    def test_no_valid_grid_rejected(self):
+        prog, _ = build_benchmark("3d7pt_star", grid=(8, 8, 8))
+        with pytest.raises(ValueError, match="no valid MPI grid"):
+            AutoTuner(prog.ir, (8, 8, 8), nprocs=1 << 20)

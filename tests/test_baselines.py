@@ -1,0 +1,156 @@
+"""Tests for the baseline system models (Figs. 7, 8, 12-14; Table 6)."""
+
+import pytest
+
+from repro.baselines import (
+    loc_comparison,
+    loc_of,
+    render_msc_source,
+    render_openacc_source,
+    simulate_halide_aot,
+    simulate_halide_jit,
+    simulate_msc_hybrid,
+    simulate_openacc_sunway,
+    simulate_openmp_matrix,
+    simulate_patus,
+    simulate_physis,
+)
+from repro.evalsuite.harness import build_with_schedule
+from repro.frontend.stencils import ALL_BENCHMARKS, benchmark_by_name
+from repro.machine import simulate_matrix, simulate_sunway, simulate_cpu
+
+
+@pytest.fixture(scope="module")
+def sunway_3d7pt():
+    prog, handle = build_with_schedule("3d7pt_star", "sunway")
+    return prog, handle
+
+
+@pytest.fixture(scope="module")
+def cpu_3d7pt():
+    prog, handle = build_with_schedule("3d7pt_star", "cpu")
+    return prog, handle
+
+
+class TestOpenACC:
+    def test_msc_wins_by_an_order_of_magnitude(self, sunway_3d7pt):
+        prog, handle = sunway_3d7pt
+        msc = simulate_sunway(prog.ir, handle.schedule)
+        acc = simulate_openacc_sunway(prog.ir, handle.schedule)
+        assert 10 < acc.step_s / msc.step_s < 50
+
+    def test_high_order_penalised_more(self):
+        s_small, h_small = build_with_schedule("3d7pt_star", "sunway")
+        s_big, h_big = build_with_schedule("2d169pt_box", "sunway")
+        ratio_small = (
+            simulate_openacc_sunway(s_small.ir, h_small.schedule).step_s
+            / simulate_sunway(s_small.ir, h_small.schedule).step_s
+        )
+        ratio_big = (
+            simulate_openacc_sunway(s_big.ir, h_big.schedule).step_s
+            / simulate_sunway(s_big.ir, h_big.schedule).step_s
+        )
+        assert ratio_big > ratio_small
+
+    def test_rendered_source_has_directives(self, sunway_3d7pt):
+        prog, _ = sunway_3d7pt
+        src = render_openacc_source(prog.ir)
+        assert "#pragma acc data copyin" in src
+        assert "#pragma acc parallel loop tile" in src
+
+
+class TestOpenMP:
+    def test_within_ten_percent_of_msc(self):
+        prog, handle = build_with_schedule("3d7pt_star", "matrix")
+        msc = simulate_matrix(prog.ir, handle.schedule)
+        omp = simulate_openmp_matrix(prog.ir, handle.schedule)
+        assert 1.0 <= omp.step_s / msc.step_s < 1.10
+
+
+class TestHalide:
+    def test_jit_pays_overhead(self, cpu_3d7pt):
+        prog, handle = cpu_3d7pt
+        aot = simulate_halide_aot(prog.ir, handle.schedule, timesteps=100)
+        jit = simulate_halide_jit(prog.ir, handle.schedule, timesteps=100)
+        assert jit.total_s > aot.total_s
+        assert jit.overhead_s > 1.0
+
+    def test_aot_wins_small_loses_large(self):
+        small_p, small_h = build_with_schedule("3d7pt_star", "cpu")
+        large_p, large_h = build_with_schedule("2d169pt_box", "cpu")
+        msc_small = simulate_cpu(small_p.ir, small_h.schedule).step_s
+        aot_small = simulate_halide_aot(small_p.ir, small_h.schedule).step_s
+        msc_large = simulate_cpu(large_p.ir, large_h.schedule).step_s
+        aot_large = simulate_halide_aot(large_p.ir, large_h.schedule).step_s
+        # Sec. 5.5: Halide-AOT better on small stencils, MSC on large
+        assert aot_small <= msc_small * 1.02
+        assert aot_large > msc_large * 1.3
+
+
+class TestPatus:
+    def test_msc_faster_everywhere(self):
+        for name in ("2d9pt_star", "3d31pt_star"):
+            prog, handle = build_with_schedule(name, "cpu")
+            msc = simulate_cpu(prog.ir, handle.schedule).step_s
+            patus = simulate_patus(prog.ir, handle.schedule).step_s
+            assert patus > msc
+
+    def test_3d_star_extra_penalty(self):
+        p3, h3 = build_with_schedule("3d31pt_star", "cpu")
+        p2, h2 = build_with_schedule("2d9pt_box", "cpu")
+        r3 = (simulate_patus(p3.ir, h3.schedule).step_s
+              / simulate_cpu(p3.ir, h3.schedule).step_s)
+        r2 = (simulate_patus(p2.ir, h2.schedule).step_s
+              / simulate_cpu(p2.ir, h2.schedule).step_s)
+        assert r3 > r2
+
+
+class TestPhysis:
+    def test_relay_dominates_at_high_order(self):
+        prog, _ = benchmark_by_name("3d31pt_star").build(grid=(32, 32, 32))
+        phys = simulate_physis(prog.ir, (512, 512, 1792), (2, 2, 7))
+        assert phys.memory_s > phys.compute_s
+
+    def test_msc_hybrid_beats_physis(self):
+        prog, _ = benchmark_by_name("3d7pt_star").build(grid=(16, 16, 16))
+        msc = simulate_msc_hybrid(prog.ir, (512, 512, 1792), (2, 2, 7), 1)
+        phys = simulate_physis(prog.ir, (512, 512, 1792), (2, 2, 7))
+        assert phys.step_s > msc.step_s
+
+    def test_hybrid_oversubscription_rejected(self):
+        prog, _ = benchmark_by_name("3d7pt_star").build(grid=(16, 16, 16))
+        with pytest.raises(ValueError, match="exceed"):
+            simulate_msc_hybrid(prog.ir, (512, 512, 1792), (2, 2, 7), 4)
+
+
+class TestLoC:
+    def test_msc_always_shortest(self):
+        for bench in ALL_BENCHMARKS:
+            locs = loc_comparison(bench)
+            assert locs["msc"] < locs["openacc"], bench.name
+            assert locs["msc"] < locs["openmp"], bench.name
+
+    def test_openmp_reduction_much_larger_than_openacc(self):
+        # Table 6: average reduction 27% vs OpenACC, 74% vs OpenMP
+        red_acc, red_omp = [], []
+        for bench in ALL_BENCHMARKS:
+            locs = loc_comparison(bench)
+            red_acc.append(1 - locs["msc"] / locs["openacc"])
+            red_omp.append(1 - locs["msc"] / locs["openmp"])
+        avg_acc = sum(red_acc) / len(red_acc)
+        avg_omp = sum(red_omp) / len(red_omp)
+        assert avg_omp > avg_acc
+        assert 0.10 < avg_acc < 0.55
+        assert 0.55 < avg_omp < 0.90
+
+    def test_msc_loc_in_paper_ballpark(self):
+        locs = loc_comparison(benchmark_by_name("3d7pt_star"))
+        assert 25 <= locs["msc"] <= 45  # paper: 36
+
+    def test_loc_of_skips_blanks(self):
+        assert loc_of("a\n\n b\n\n") == 2
+
+    def test_msc_source_larger_for_higher_order(self):
+        small = loc_of(render_msc_source(benchmark_by_name("2d9pt_star")))
+        large = loc_of(render_msc_source(benchmark_by_name("2d169pt_box")))
+        assert large > small

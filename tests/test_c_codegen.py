@@ -1,0 +1,196 @@
+"""Tests for AOT C code generation: structure + compile-and-run vs numpy.
+
+The CPU/OpenMP programs are compiled with gcc and executed; their output
+must match the numpy reference bit-for-bit (both evaluate the same IEEE
+expressions in the same order per point).
+"""
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.backend import CCodeGenerator, generate, generate_makefile
+from repro.backend.numpy_backend import reference_run
+from repro.ir import Stencil, f32, f64
+from repro.schedule import Schedule
+from tests.conftest import make_2d5pt, make_3d7pt
+
+GCC = shutil.which("gcc")
+
+needs_gcc = pytest.mark.skipif(GCC is None, reason="gcc not available")
+
+
+def _compile_and_run(code, tmp_path, init, steps, shape, np_dtype,
+                     use_openmp=True):
+    code.write_to(str(tmp_path))
+    src = tmp_path / f"{code.name}.c"
+    exe = tmp_path / code.name
+    cmd = [GCC, "-O2", "-o", str(exe), str(src), "-lm"]
+    if use_openmp:
+        cmd.insert(1, "-fopenmp")
+    res = subprocess.run(cmd, capture_output=True, text=True)
+    assert res.returncode == 0, res.stderr
+    init_file = tmp_path / "init.bin"
+    out_file = tmp_path / "out.bin"
+    np.concatenate([p.ravel() for p in init]).astype(np_dtype).tofile(
+        str(init_file)
+    )
+    res = subprocess.run(
+        [str(exe), str(init_file), str(steps), str(out_file)],
+        capture_output=True, text=True,
+    )
+    assert res.returncode == 0, res.stderr
+    return np.fromfile(str(out_file), dtype=np_dtype).reshape(shape)
+
+
+@needs_gcc
+class TestCompiledExecution:
+    @pytest.mark.parametrize("boundary", ["zero", "periodic"])
+    def test_3d_two_time_deps(self, tmp_path, rng, boundary):
+        tensor, kern = make_3d7pt(shape=(12, 10, 14))
+        st = Stencil(tensor, 0.6 * kern[Stencil.t - 1]
+                     + 0.4 * kern[Stencil.t - 2])
+        sched = Schedule(kern)
+        sched.tile(4, 5, 7, "xo", "xi", "yo", "yi", "zo", "zi")
+        sched.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+        sched.parallel("xo", 4)
+        gen = CCodeGenerator(st, {kern.name: sched}, boundary=boundary)
+        code = gen.generate(f"t3d_{boundary}")
+        init = [rng.random((12, 10, 14)) for _ in range(2)]
+        got = _compile_and_run(code, tmp_path, init, 6, (12, 10, 14),
+                               np.float64)
+        ref = reference_run(st, init, 6, boundary=boundary)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_2d_single_dep_untiled(self, tmp_path, rng):
+        tensor, kern = make_2d5pt(shape=(20, 24))
+        st = Stencil(tensor, kern[Stencil.t - 1])
+        gen = CCodeGenerator(st, {}, boundary="periodic")
+        code = gen.generate("t2d")
+        init = [rng.random((20, 24))]
+        got = _compile_and_run(code, tmp_path, init, 5, (20, 24),
+                               np.float64, use_openmp=False)
+        ref = reference_run(st, init, 5, boundary="periodic")
+        np.testing.assert_array_equal(got, ref)
+
+    def test_fp32_program(self, tmp_path, rng):
+        tensor, kern = make_3d7pt(shape=(8, 8, 8), dtype=f32)
+        st = Stencil(tensor, 0.5 * kern[Stencil.t - 1]
+                     + 0.5 * kern[Stencil.t - 2])
+        gen = CCodeGenerator(st, {}, boundary="zero")
+        code = gen.generate("t32")
+        init = [rng.random((8, 8, 8)).astype(np.float32) for _ in range(2)]
+        got = _compile_and_run(code, tmp_path, init, 3, (8, 8, 8),
+                               np.float32)
+        ref = reference_run(st, init, 3, boundary="zero")
+        # Sec. 5.1 correctness criterion for fp32
+        rel = np.abs(got - ref) / np.maximum(np.abs(ref), 1e-30)
+        assert rel.max() < 1e-5
+
+    def test_zero_steps(self, tmp_path, rng):
+        tensor, kern = make_2d5pt(shape=(6, 6))
+        st = Stencil(tensor, kern[Stencil.t - 1])
+        code = CCodeGenerator(st, {}).generate("t0")
+        init = [rng.random((6, 6))]
+        got = _compile_and_run(code, tmp_path, init, 0, (6, 6), np.float64,
+                               use_openmp=False)
+        np.testing.assert_array_equal(got, init[0])
+
+
+class TestGeneratedStructure:
+    def test_openmp_pragma_on_parallel_axis(self, stencil_3d7pt_2dep):
+        kern = stencil_3d7pt_2dep.kernels[0]
+        sched = Schedule(kern)
+        sched.tile(4, 8, 16, "xo", "xi", "yo", "yi", "zo", "zi")
+        sched.parallel("xo", 8)
+        code = CCodeGenerator(
+            stencil_3d7pt_2dep, {kern.name: sched}
+        ).generate("p")
+        src = code.main_source
+        assert "#pragma omp parallel for num_threads(8)" in src
+        assert src.index("#pragma omp") < src.index("for (long xo")
+
+    def test_window_modulo_addressing(self, stencil_3d7pt_2dep):
+        code = CCodeGenerator(stencil_3d7pt_2dep, {}).generate("w")
+        assert "#define TWIN 3" in code.main_source
+        assert "% TWIN" in code.main_source
+
+    def test_balanced_braces(self, stencil_3d7pt_2dep):
+        src = CCodeGenerator(stencil_3d7pt_2dep, {}).generate("b").main_source
+        assert src.count("{") == src.count("}")
+
+    def test_combination_scales_emitted(self, stencil_3d7pt_2dep):
+        src = CCodeGenerator(stencil_3d7pt_2dep, {}).generate("c").main_source
+        assert "(real)0.6" in src and "(real)0.4" in src
+
+    def test_reflect_boundary_rejected(self, stencil_3d7pt_2dep):
+        with pytest.raises(ValueError, match="zero/periodic"):
+            CCodeGenerator(stencil_3d7pt_2dep, {}, boundary="reflect")
+
+    def test_loc_counts_nonblank(self, stencil_3d7pt_2dep):
+        code = CCodeGenerator(stencil_3d7pt_2dep, {}).generate("l")
+        assert code.loc() == sum(
+            1 for line in code.main_source.splitlines() if line.strip()
+        )
+
+
+class TestTargetsAndMakefiles:
+    def test_generate_cpu_bundle_has_makefile(self, stencil_3d7pt_2dep):
+        code = generate(stencil_3d7pt_2dep, {}, "bundle", target="cpu")
+        assert "Makefile" in code.files
+        assert "gcc" in code.files["Makefile"]
+        assert "-fopenmp" in code.files["Makefile"]
+
+    def test_generate_unknown_target(self, stencil_3d7pt_2dep):
+        with pytest.raises(ValueError, match="unknown target"):
+            generate(stencil_3d7pt_2dep, {}, "x", target="gpu")
+
+    def test_sunway_makefile_hybrid_toolchain(self):
+        mk = generate_makefile("prog", "sunway")
+        assert "sw5cc -host" in mk
+        assert "sw5cc -slave" in mk
+        assert "mpicc -hybrid" in mk
+
+    def test_mpi_flag(self):
+        mk = generate_makefile("prog", "cpu", use_mpi=True)
+        assert "mpicc" in mk and "-DMSC_USE_MPI" in mk
+
+    def test_makefile_unknown_target(self):
+        with pytest.raises(ValueError):
+            generate_makefile("prog", "riscv")
+
+    @needs_gcc
+    def test_makefile_actually_builds(self, tmp_path, stencil_3d7pt_2dep):
+        code = generate(stencil_3d7pt_2dep, {}, "buildme", target="cpu")
+        code.write_to(str(tmp_path))
+        res = subprocess.run(
+            ["make", "-C", str(tmp_path)], capture_output=True, text=True
+        )
+        if res.returncode != 0 and "march=native" in res.stderr:
+            pytest.skip("march=native unsupported here")
+        assert res.returncode == 0, res.stderr + res.stdout
+        assert (tmp_path / "buildme").exists()
+
+
+@needs_gcc
+def test_kernel_internal_time_offset_compiled(tmp_path, rng):
+    """A kernel reading ``B.at(-1)`` compiles and matches the reference."""
+    from repro.ir import SpNode, Kernel, VarExpr, f64
+
+    j, i = VarExpr("j"), VarExpr("i")
+    B = SpNode("B", (10, 12), f64, halo=(1, 1), time_window=3)
+    kern = Kernel(
+        "deep", (j, i),
+        0.6 * (0.5 * B[j, i] + 0.25 * (B[j, i - 1] + B[j, i + 1]))
+        + 0.4 * (0.5 * B.at(-1)[j, i]
+                 + 0.25 * (B.at(-1)[j, i - 1] + B.at(-1)[j, i + 1])),
+    )
+    st = Stencil(B, kern[Stencil.t - 1])
+    code = CCodeGenerator(st, {}, boundary="periodic").generate("deep")
+    init = [rng.random((10, 12)) for _ in range(2)]
+    got = _compile_and_run(code, tmp_path, init, 4, (10, 12), np.float64,
+                           use_openmp=False)
+    ref = reference_run(st, init, 4, boundary="periodic")
+    np.testing.assert_array_equal(got, ref)

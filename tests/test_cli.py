@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+MSC_DISTRIBUTED = """
+const N = 12;
+DefVar(k, i32); DefVar(j, i32); DefVar(i, i32);
+DefTensor3D_TimeWin(B, 3, 1, f64, N, N, N);
+Kernel S((k,j,i), 0.4*B[k,j,i] + 0.1*B[k,j,i-1] + 0.1*B[k,j,i+1]
+         + 0.1*B[k-1,j,i] + 0.1*B[k+1,j,i]
+         + 0.1*B[k,j-1,i] + 0.1*B[k,j+1,i]);
+Stencil st((k,j,i), B[t] << 0.6*S[t-1] + 0.4*S[t-2]);
+DefShapeMPI3D(mpi, 2, 1, 2);
+"""
+
+MSC_SUNWAY = """
+const N = 16;
+DefVar(k, i32); DefVar(j, i32); DefVar(i, i32);
+DefTensor3D_TimeWin(B, 3, 1, f64, N, N, N);
+Kernel S((k,j,i), 0.5*B[k,j,i] + 0.25*B[k,j,i-1] + 0.25*B[k,j,i+1]);
+S.tile(4, 8, 16, xo, xi, yo, yi, zo, zi);
+S.reorder(xo, yo, zo, xi, yi, zi);
+S.cache_read(B, br, "global");
+S.cache_write(bw, "global");
+S.compute_at(br, zo);
+S.compute_at(bw, zo);
+S.parallel(xo, 64);
+Stencil st((k,j,i), B[t] << S[t-1]);
+"""
+
+
+@pytest.fixture
+def msc_file(tmp_path):
+    path = tmp_path / "prog.msc"
+    path.write_text(MSC_DISTRIBUTED)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_report_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "fig99"])
+
+
+class TestRun:
+    def test_run_distributed(self, msc_file, capsys):
+        assert main(["run", msc_file, "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed over (2, 1, 2)" in out
+        assert "l2=" in out
+
+    def test_run_serial_flag(self, msc_file, capsys):
+        assert main(["run", msc_file, "--steps", "3", "--serial"]) == 0
+        assert "single-node" in capsys.readouterr().out
+
+    def test_run_saves_npy(self, msc_file, tmp_path, capsys):
+        out = tmp_path / "res.npy"
+        assert main(["run", msc_file, "--steps", "2",
+                     "--out", str(out)]) == 0
+        data = np.load(str(out))
+        assert data.shape == (12, 12, 12)
+
+    def test_run_deterministic_under_seed(self, msc_file, capsys):
+        main(["run", msc_file, "--steps", "2", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["run", msc_file, "--steps", "2", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.msc"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_sunway_bundle(self, tmp_path, capsys):
+        src = tmp_path / "s.msc"
+        src.write_text(MSC_SUNWAY)
+        out = tmp_path / "bundle"
+        assert main(["compile", str(src), "--target", "sunway",
+                     "-o", str(out)]) == 0
+        files = {p.name for p in out.iterdir()}
+        assert files == {
+            "st_master.c", "st_slave.c", "st_common.c", "st.h",
+            "msc_athread_stub.h", "Makefile",
+        }
+
+    def test_cpu_bundle_with_name(self, msc_file, tmp_path):
+        out = tmp_path / "cpu"
+        assert main(["compile", msc_file, "--target", "cpu",
+                     "-o", str(out), "--name", "myprog"]) == 0
+        assert (out / "myprog.c").exists()
+
+    def test_illegal_sunway_schedule_reported(self, msc_file, tmp_path,
+                                              capsys):
+        # the distributed program has no SPM staging -> sunway illegal
+        assert main(["compile", msc_file, "--target", "sunway",
+                     "-o", str(tmp_path)]) == 1
+        assert "illegal schedule" in capsys.readouterr().err
+
+
+class TestSimulateAndReport:
+    def test_simulate_sunway(self, capsys):
+        assert main(["simulate", "3d7pt_star", "--machine", "sunway"]) == 0
+        out = capsys.readouterr().out
+        assert "GFlops" in out and "tiles_per_cpe" in out
+
+    def test_simulate_unknown_benchmark(self, capsys):
+        assert main(["simulate", "5d_monster"]) == 1
+
+    def test_report_table4(self, capsys):
+        assert main(["report", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "3d7pt_star" in out and "56" in out
+
+    def test_report_fig10(self, capsys):
+        assert main(["report", "fig10"]) == 0
+        assert "3d7pt_star" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "2d121pt_box" in out and "fig14" in out
+
+
+class TestTune:
+    def test_tune_small(self, capsys):
+        assert main([
+            "tune", "3d7pt_star", "--nprocs", "8",
+            "--shape", "512,128,128", "--iterations", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+
+class TestVerify:
+    def test_verify_all_paths_pass(self, capsys):
+        assert main(["verify", "3d7pt_star", "--timesteps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") >= 3
+        assert "FAIL" not in out
+
+    def test_verify_fp32_tolerance(self, capsys):
+        assert main(["verify", "2d9pt_star", "--precision", "fp32",
+                     "--timesteps", "2"]) == 0
+        assert "1e-05" in capsys.readouterr().out
+
+
+MSC_PIPELINE = """
+const N = 16;
+DefVar(j, i32); DefVar(i, i32);
+DefTensor2D(U, 1, f64, N, N);
+DefTensor2D(R, 1, f64, N, N);
+Kernel smooth((j,i), 0.5*U[j,i] + 0.125*U[j,i-1] + 0.125*U[j,i+1]
+              + 0.125*U[j-1,i] + 0.125*U[j+1,i]);
+Kernel resid((j,i), 4.0*U[j,i] - U[j,i-1] - U[j,i+1] - U[j-1,i]
+             - U[j+1,i]);
+Stencil s1((j,i), U[t] << smooth[t-1]);
+Stencil s2((j,i), R[t] << resid[t-1]);
+DefShapeMPI2D(mpi, 2, 2);
+"""
+
+
+class TestPipelineCLI:
+    @pytest.fixture
+    def pipe_file(self, tmp_path):
+        path = tmp_path / "pipe.msc"
+        path.write_text(MSC_PIPELINE)
+        return str(path)
+
+    def test_run_distributed_pipeline(self, pipe_file, capsys):
+        assert main(["run", pipe_file, "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "StagePipeline(U -> R)" in out
+        assert "distributed over (2, 2)" in out
+        assert out.count("l2=") == 2
+
+    def test_run_serial_pipeline_saves_npz(self, pipe_file, tmp_path,
+                                           capsys):
+        dest = tmp_path / "res.npz"
+        assert main(["run", pipe_file, "--steps", "2", "--serial",
+                     "--out", str(dest)]) == 0
+        data = np.load(str(dest))
+        assert set(data.files) == {"U", "R"}
+
+    def test_serial_matches_distributed(self, pipe_file, capsys):
+        main(["run", pipe_file, "--steps", "3", "--seed", "2"])
+        dist = capsys.readouterr().out.splitlines()[1:]
+        main(["run", pipe_file, "--steps", "3", "--seed", "2",
+              "--serial"])
+        serial = capsys.readouterr().out.splitlines()[1:]
+        assert dist == serial

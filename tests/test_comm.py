@@ -1,0 +1,261 @@
+"""Tests for the communication library: decomposition, halo geometry,
+packing, exchangers and the plugin registry (Sec. 4.4, Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    AsyncHaloExchanger,
+    BufferPool,
+    HaloExchanger,
+    HaloSpec,
+    MasterCoordinatedExchanger,
+    available_exchangers,
+    create_exchanger,
+    decompose,
+    get_exchanger,
+    halo_regions,
+    owner_of,
+    pack,
+    partition_regions,
+    register_exchanger,
+    suggest_grid,
+    unpack,
+)
+from repro.runtime.simmpi import run_ranks
+
+
+class TestDecompose:
+    def test_even_split(self):
+        subs = decompose((8, 8), (2, 2))
+        assert len(subs) == 4
+        assert all(sd.shape == (4, 4) for sd in subs)
+
+    def test_uneven_split_balanced(self):
+        subs = decompose((10,), (3,))
+        sizes = [sd.shape[0] for sd in subs]
+        assert sizes == [4, 3, 3]
+        assert sum(sizes) == 10
+
+    def test_cover_exactly_once(self):
+        subs = decompose((7, 9, 5), (2, 3, 1))
+        seen = np.zeros((7, 9, 5), dtype=int)
+        for sd in subs:
+            seen[sd.slices()] += 1
+        assert (seen == 1).all()
+
+    def test_rank_order_row_major(self):
+        subs = decompose((4, 4), (2, 2))
+        assert [sd.coords for sd in subs] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+
+    def test_owner_of(self):
+        subs = decompose((8, 8), (2, 2))
+        assert owner_of((0, 0), subs) == 0
+        assert owner_of((7, 7), subs) == 3
+        with pytest.raises(ValueError):
+            owner_of((8, 0), subs)
+
+    def test_too_many_procs_rejected(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            decompose((4,), (8,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            decompose((4, 4), (2,))
+
+
+class TestSuggestGrid:
+    def test_product_matches(self):
+        for n in (1, 2, 6, 12, 28, 64, 128):
+            grid = suggest_grid(n, 3)
+            assert np.prod(grid) == n
+
+    def test_prefers_large_dims(self):
+        grid = suggest_grid(8, 2, global_shape=(1024, 16))
+        assert grid[0] >= grid[1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            suggest_grid(0, 2)
+
+
+class TestHaloGeometry:
+    def test_padded_shape(self):
+        spec = HaloSpec((8, 8), (2, 1))
+        assert spec.padded_shape == (12, 10)
+
+    def test_regions_two_per_dimension(self):
+        spec = HaloSpec((8, 8), (1, 1))
+        regions = halo_regions(spec)
+        assert len(regions) == 4
+        assert {(r.dim, r.direction) for r in regions} == {
+            (0, -1), (0, 1), (1, -1), (1, 1)
+        }
+
+    def test_zero_halo_dim_skipped(self):
+        spec = HaloSpec((8, 8), (0, 1))
+        regions = halo_regions(spec)
+        assert {r.dim for r in regions} == {1}
+
+    def test_send_strips_inside_valid_recv_outside(self):
+        # Along its own exchange dimension, the send strip must lie
+        # within the valid band [h, h+s) and the recv strip in the
+        # ghost band; other dimensions span the full padded extent (so
+        # corners propagate across phases).
+        spec = HaloSpec((8, 8), (2, 2))
+        for region in halo_regions(spec):
+            d, h, s = region.dim, spec.halo[region.dim], spec.sub_shape[region.dim]
+            lo, hi, _ = region.send[d].indices(spec.padded_shape[d])
+            assert h <= lo and hi <= h + s
+            rlo, rhi, _ = region.recv[d].indices(spec.padded_shape[d])
+            assert rhi <= h or rlo >= h + s
+
+    def test_halo_wider_than_domain_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            HaloSpec((2, 8), (3, 1))
+
+    def test_partition_fig6(self):
+        # Fig. 6b: inner region ∪ inner halo = valid region; outer halo
+        # disjoint from valid
+        spec = HaloSpec((8, 8), (1, 1))
+        inner, inner_strips, outer_strips = partition_regions(spec)
+        mask = np.zeros(spec.padded_shape, dtype=int)
+        mask[inner] += 1
+        for s in inner_strips:
+            mask[s] += 1
+        valid = np.zeros(spec.padded_shape, dtype=bool)
+        valid[spec.interior()] = True
+        assert (mask[valid] >= 1).all()
+        assert (mask[~valid] == 0).all()
+        for s in outer_strips:
+            assert not valid[s].any()
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        plane = rng.random((6, 6))
+        strip = (slice(1, 3), slice(0, 6))
+        buf = pack(plane, strip)
+        target = np.zeros((6, 6))
+        unpack(buf, target, strip)
+        np.testing.assert_array_equal(target[strip], plane[strip])
+
+    def test_pack_into_provided_buffer(self, rng):
+        plane = rng.random((4, 4))
+        out = np.zeros(8)
+        buf = pack(plane, (slice(0, 2), slice(0, 4)), out)
+        assert buf is out
+
+    def test_size_mismatch(self, rng):
+        plane = rng.random((4, 4))
+        with pytest.raises(ValueError):
+            pack(plane, (slice(0, 2), slice(0, 4)), np.zeros(4))
+        with pytest.raises(ValueError):
+            unpack(np.zeros(4), plane, (slice(0, 4), slice(0, 4)))
+
+    def test_buffer_pool_reuses(self):
+        pool = BufferPool()
+        a = pool.get(100, np.float64, tag="x")
+        b = pool.get(100, np.float64, tag="x")
+        c = pool.get(100, np.float64, tag="y")
+        assert a is b and a is not c
+        assert len(pool) == 2
+        assert pool.nbytes == 1600
+
+
+def _exchange_world(exchanger_name, boundary, dims=(2, 2), halo=(1, 1),
+                    sub=(4, 4)):
+    """Each rank fills its interior with its rank id, exchanges, and
+    returns the ghost values it received."""
+    periods = tuple(boundary == "periodic" for _ in dims)
+
+    def main(comm):
+        spec = HaloSpec(sub, halo)
+        ex = create_exchanger(exchanger_name, comm, spec)
+        plane = np.zeros(spec.padded_shape)
+        plane[spec.interior()] = float(comm.rank)
+        ex.exchange(plane)
+        up, down = comm.Shift(0, 1)
+        left, right = comm.Shift(1, 1)
+        h = halo[0]
+        return {
+            "up": plane[0, h] if up >= 0 else None,
+            "down": plane[-1, h] if down >= 0 else None,
+            "left": plane[h, 0] if left >= 0 else None,
+            "right": plane[h, -1] if right >= 0 else None,
+            "corner": plane[0, 0],
+            "messages": ex.messages,
+        }
+
+    nprocs = int(np.prod(dims))
+    return run_ranks(nprocs, main, cart_dims=dims, periods=periods)
+
+
+@pytest.mark.parametrize("name", ["async", "master"])
+class TestExchangers:
+    def test_face_values_from_neighbours(self, name):
+        res = _exchange_world(name, "periodic")
+        # rank 0 at (0,0) in a periodic 2x2: up neighbour is rank 2,
+        # left neighbour is rank 1
+        assert res[0]["up"] == 2.0
+        assert res[0]["down"] == 2.0
+        assert res[0]["left"] == 1.0
+        assert res[0]["right"] == 1.0
+
+    def test_corner_propagated_via_dimension_phases(self, name):
+        res = _exchange_world(name, "periodic")
+        # rank 0's (0,0) corner ghost holds the diagonal neighbour (rank 3)
+        assert res[0]["corner"] == 3.0
+
+    def test_nonperiodic_edges_not_received(self, name):
+        res = _exchange_world(name, "zero")
+        assert res[0]["up"] is None and res[0]["left"] is None
+        assert res[0]["down"] == 2.0 and res[0]["right"] == 1.0
+
+    def test_message_count(self, name):
+        res = _exchange_world(name, "periodic")
+        assert res[0]["messages"] == 4  # 2 dims × 2 directions
+
+    def test_wrong_plane_shape_rejected(self, name):
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = create_exchanger(name, comm, spec)
+            ex.exchange(np.zeros((4, 4)))
+
+        from repro.runtime.simmpi import SimMPIError
+
+        with pytest.raises(SimMPIError, match="padded"):
+            run_ranks(4, main, cart_dims=(2, 2))
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert set(available_exchangers()) >= {"async", "master"}
+        assert get_exchanger("async") is AsyncHaloExchanger
+        assert get_exchanger("master") is MasterCoordinatedExchanger
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown exchanger"):
+            get_exchanger("rdma")
+
+    def test_plugin_registration(self):
+        class MyExchanger(AsyncHaloExchanger):
+            pass
+
+        register_exchanger("custom-gcl", MyExchanger)
+        try:
+            assert get_exchanger("custom-gcl") is MyExchanger
+            with pytest.raises(ValueError, match="already registered"):
+                register_exchanger("custom-gcl", MyExchanger)
+            register_exchanger("custom-gcl", AsyncHaloExchanger,
+                               replace=True)
+        finally:
+            from repro.comm import library
+
+            library._REGISTRY.pop("custom-gcl", None)
+
+    def test_non_exchanger_rejected(self):
+        with pytest.raises(TypeError):
+            register_exchanger("bad", dict)

@@ -1,0 +1,221 @@
+"""Tests asserting the *shape* of every reproduced experiment.
+
+Who wins, by roughly what factor, where crossovers fall — the
+reproduction criteria for each table and figure of Sec. 5.
+"""
+
+import statistics
+
+import pytest
+
+from repro.evalsuite import (
+    TABLE5,
+    TABLE7_SUNWAY,
+    TABLE7_TIANHE3,
+    TABLE8,
+    fig7_rows,
+    fig8_rows,
+    fig9_points,
+    fig10_curves,
+    fig12_rows,
+    fig13_rows,
+    fig14_rows,
+    format_series,
+    format_table,
+    geomean,
+    table3_rows,
+    table4_rows,
+    table5_row,
+    table6_rows,
+)
+
+
+class TestTables:
+    def test_table3_three_platforms(self):
+        rows = table3_rows()
+        assert [r["platform"] for r in rows] == [
+            "Sunway TaihuLight", "Tianhe-3 Prototype", "Local CPU Server"
+        ]
+
+    def test_table4_read_write_bytes_exact(self):
+        for row in table4_rows():
+            assert row["read_bytes"] == row["paper_read"], row["benchmark"]
+            assert row["write_bytes"] == row["paper_write"]
+            assert row["time_dep"] == row["paper_time_dep"] == 2
+
+    def test_table4_ops_within_convention_delta(self):
+        # op counts depend on coefficient-folding convention; ours stay
+        # within ~50% of the paper's and exact for the low-order rows
+        # (the paper's 3d13pt row, 17 ops for a 13-point stencil, is not
+        # reachable under any single consistent convention)
+        for row in table4_rows():
+            ratio = row["ops"] / row["paper_ops"]
+            assert 0.75 < ratio < 1.50, row["benchmark"]
+        exact = {r["benchmark"]: r for r in table4_rows()}
+        for name in ("2d9pt_star", "2d9pt_box", "3d7pt_star"):
+            assert exact[name]["ops"] == exact[name]["paper_ops"]
+
+    def test_table5_rows_complete(self):
+        assert len(TABLE5) == 8
+        row = table5_row("3d7pt_star")
+        assert row.sunway_tile == (2, 8, 64)
+        assert row.matrix_tile == (2, 8, 256)
+        with pytest.raises(KeyError):
+            table5_row("4d_stencil")
+
+    def test_table6_msc_shortest(self):
+        for row in table6_rows():
+            assert row["msc"] < row["openacc"] < row["openmp"] * 3
+
+    def test_table7_configs(self):
+        assert len(TABLE7_SUNWAY) == 8 and len(TABLE7_TIANHE3) == 8
+        for row in TABLE7_SUNWAY:
+            n = 1
+            for g in row.mpi_grid:
+                n *= g
+            assert n == row.processes
+
+    def test_table8_core_budget(self):
+        for row in TABLE8:
+            assert row.mpi_processes * row.omp_threads == 28
+
+
+class TestFig7:
+    def test_fp64_average_speedup(self):
+        rows = fig7_rows("fp64")
+        avg = statistics.mean(r["speedup"] for r in rows)
+        assert 20 < avg < 30  # paper: 24.4x
+
+    def test_fp32_average_lower_than_fp64(self):
+        avg64 = statistics.mean(r["speedup"] for r in fig7_rows("fp64"))
+        avg32 = statistics.mean(r["speedup"] for r in fig7_rows("fp32"))
+        assert 17 < avg32 < avg64  # paper: 20.7x < 24.4x
+
+    def test_msc_wins_every_benchmark(self):
+        assert all(r["speedup"] > 5 for r in fig7_rows("fp64"))
+
+    def test_3d7pt_structural_claims(self):
+        row = next(
+            r for r in fig7_rows("fp64") if r["benchmark"] == "3d7pt_star"
+        )
+        assert row["tiles_per_cpe"] == 256  # Sec. 5.2.1
+        assert 0.4 < row["spm_utilisation"] <= 1.0
+
+
+class TestFig8:
+    def test_near_parity_with_manual_openmp(self):
+        for prec, target in (("fp64", 1.05), ("fp32", 1.03)):
+            avg = statistics.mean(
+                r["speedup"] for r in fig8_rows(prec)
+            )
+            assert abs(avg - target) < 0.03
+
+
+class TestFig9:
+    def test_sunway_only_2d169pt_compute_bound(self):
+        points = fig9_points("sunway")
+        bounds = {p.name: p.bound for p in points}
+        assert bounds.pop("2d169pt_box") == "compute"
+        assert all(b == "memory" for b in bounds.values())
+
+    def test_matrix_all_memory_bound(self):
+        # "due to the limited bandwidth on Matrix ... still memory-bound"
+        points = fig9_points("matrix")
+        assert all(p.bound == "memory" for p in points)
+
+    def test_achieved_below_roof(self):
+        for machine in ("sunway", "matrix"):
+            for p in fig9_points(machine):
+                assert p.achieved_gflops <= p.attainable_gflops * 1.001
+
+
+class TestFig10:
+    def test_weak_scaling_speedups(self):
+        for platform, target in (("sunway", 7.85), ("tianhe3", 7.38)):
+            curves = fig10_curves(platform, "weak")
+            avg = statistics.mean(
+                pts[-1].gflops / pts[0].gflops for pts in curves.values()
+            )
+            assert abs(avg - target) < 0.5
+
+    def test_strong_scaling_speedups(self):
+        for platform, target in (("sunway", 6.74), ("tianhe3", 5.85)):
+            curves = fig10_curves(platform, "strong")
+            avg = statistics.mean(
+                pts[-1].gflops / pts[0].gflops for pts in curves.values()
+            )
+            assert abs(avg - target) < 0.6
+
+    def test_tianhe3_2d_deviates_3d_near_ideal(self):
+        curves = fig10_curves("tianhe3", "strong")
+        s2 = statistics.mean(
+            pts[-1].gflops / pts[0].gflops
+            for name, pts in curves.items() if name.startswith("2d")
+        )
+        s3 = statistics.mean(
+            pts[-1].gflops / pts[0].gflops
+            for name, pts in curves.items() if name.startswith("3d")
+        )
+        assert s3 > 7.0 > s2
+
+    def test_gflops_increase_monotonically(self):
+        curves = fig10_curves("sunway", "weak",
+                              benchmarks=["3d7pt_star"])
+        pts = curves["3d7pt_star"]
+        values = [p.gflops for p in pts]
+        assert values == sorted(values)
+
+
+class TestFigs12to14:
+    def test_fig12_averages(self):
+        rows = fig12_rows()
+        avg_msc = statistics.mean(r["speedup_msc"] for r in rows)
+        avg_aot = statistics.mean(r["speedup_aot"] for r in rows)
+        assert 3.0 < avg_msc < 3.8  # paper: 3.33
+        assert 2.5 < avg_aot < 3.3  # paper: 2.92
+        assert avg_msc > avg_aot
+
+    def test_fig12_crossover(self):
+        rows = {r["benchmark"]: r for r in fig12_rows()}
+        # AOT competitive on small stencils, loses on the big 2D boxes
+        assert rows["3d7pt_star"]["msc_vs_aot"] <= 1.02
+        assert rows["2d169pt_box"]["msc_vs_aot"] > 1.4
+
+    def test_fig13_average(self):
+        avg = statistics.mean(r["speedup"] for r in fig13_rows())
+        assert 5.0 < avg < 7.0  # paper: 5.94
+
+    def test_fig14_average_and_order_dependence(self):
+        rows = fig14_rows()
+        avg = statistics.mean(r["speedup"] for r in rows)
+        assert 8.0 < avg < 12.0  # paper: 9.88
+        by_bench = {}
+        for r in rows:
+            by_bench.setdefault(r["benchmark"], []).append(r["speedup"])
+        low = statistics.mean(by_bench["3d7pt_star"])
+        high = statistics.mean(by_bench["3d31pt_star"])
+        assert high > low  # halo volume drives the Physis bottleneck
+
+
+class TestFormatters:
+    def test_format_table(self):
+        txt = format_table(
+            [{"a": 1, "b": 2.5}], ["a", "b"], title="T"
+        )
+        assert txt.splitlines()[0] == "T"
+        assert "2.5" in txt
+
+    def test_format_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], ["a"])
+
+    def test_format_series(self):
+        txt = format_series({"c": [(1, 2.0)]}, "x", "y")
+        assert "[c]" in txt and "x=1" in txt
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([0.0])

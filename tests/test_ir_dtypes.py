@@ -1,0 +1,57 @@
+"""Unit tests for repro.ir.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtypes import ALL_DTYPES, DType, dtype_from_name, f32, f64, i32
+
+
+class TestDTypeBasics:
+    def test_supported_types_match_paper(self):
+        # Sec. 4.2: MSC supports i32, f32 and f64
+        assert {dt.name for dt in ALL_DTYPES} == {"i32", "f32", "f64"}
+
+    @pytest.mark.parametrize("dt,nbytes", [(i32, 4), (f32, 4), (f64, 8)])
+    def test_widths(self, dt, nbytes):
+        assert dt.nbytes == nbytes
+
+    @pytest.mark.parametrize(
+        "dt,np_dt",
+        [(i32, np.int32), (f32, np.float32), (f64, np.float64)],
+    )
+    def test_numpy_mapping(self, dt, np_dt):
+        assert dt.np_dtype == np.dtype(np_dt)
+
+    @pytest.mark.parametrize(
+        "dt,c", [(i32, "int"), (f32, "float"), (f64, "double")]
+    )
+    def test_c_spelling(self, dt, c):
+        assert dt.c_name == c
+
+    def test_float_flags(self):
+        assert f32.is_float and f64.is_float and not i32.is_float
+
+
+class TestTolerances:
+    def test_paper_tolerances(self):
+        # Sec. 5.1: fp32 relative error < 1e-5, fp64 < 1e-10
+        assert f32.tolerance == 1e-5
+        assert f64.tolerance == 1e-10
+
+    def test_integer_tolerance_exact(self):
+        assert i32.tolerance == 0.0
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["i32", "f32", "f64"])
+    def test_lookup_roundtrip(self, name):
+        assert dtype_from_name(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dtype"):
+            dtype_from_name("f16")
+
+    def test_dtype_is_hashable_and_frozen(self):
+        assert {f64: 1}[f64] == 1
+        with pytest.raises(AttributeError):
+            f64.nbytes = 16

@@ -1,0 +1,204 @@
+"""Unit tests for Kernel, KernelApply and Stencil IR nodes."""
+
+import pytest
+
+from repro.ir import (
+    Kernel,
+    KernelApply,
+    SpNode,
+    Stencil,
+    VarExpr,
+    f32,
+    f64,
+)
+from tests.conftest import make_2d5pt, make_3d7pt
+
+
+class TestKernel:
+    def test_footprint_and_npoints(self):
+        _, kern = make_3d7pt()
+        assert kern.npoints == 7
+        assert (0, 0, 0) in kern.footprint
+        assert (0, 0, -1) in kern.footprint
+
+    def test_radius(self):
+        _, kern = make_3d7pt()
+        assert kern.radius == (1, 1, 1)
+
+    def test_flops_counts_operators(self):
+        _, kern = make_2d5pt()
+        # 0.5*c + 0.125*(a+b+c+d): 2 muls + 3 inner adds + 1 outer add
+        assert kern.flops() == 6
+
+    def test_duplicate_offsets_deduplicated(self):
+        B = SpNode("B", (8,), halo=(1,))
+        i = VarExpr("i")
+        kern = Kernel("dup", (i,), B[i] + B[i] + B[i - 1])
+        assert kern.npoints == 2
+
+    def test_input_tensors_distinct(self):
+        B = SpNode("B", (8, 8), halo=(1, 1))
+        C = SpNode("C", (8, 8), halo=(0, 0))
+        j, i = VarExpr("j"), VarExpr("i")
+        kern = Kernel("two", (j, i), B[j, i] * C[j, i] + B[j, i - 1])
+        assert [t.name for t in kern.input_tensors] == ["B", "C"]
+
+    def test_wrong_subscript_var_rejected(self):
+        B = SpNode("B", (8, 8), halo=(1, 1))
+        j, i = VarExpr("j"), VarExpr("i")
+        with pytest.raises(ValueError, match="subscripted with"):
+            Kernel("bad", (j, i), B[i, j])
+
+    def test_rank_mismatch_rejected(self):
+        B = SpNode("B", (8, 8, 8), halo=1)
+        j, i = VarExpr("j"), VarExpr("i")
+        with pytest.raises(ValueError, match="2-D"):
+            Kernel("bad", (j, i), B[j, i, i])  # wrong arity caught first
+
+    def test_duplicate_loop_vars_rejected(self):
+        B = SpNode("B", (8, 8), halo=1)
+        j = VarExpr("j")
+        with pytest.raises(ValueError, match="duplicate"):
+            Kernel("bad", (j, j), B[j, j])
+
+    def test_default_axes(self):
+        _, kern = make_3d7pt()
+        axes = kern.default_axes((4, 5, 6))
+        assert [(a.name, a.end) for a in axes] == [
+            ("k", 4), ("j", 5), ("i", 6)
+        ]
+
+
+class TestKernelApply:
+    def test_getitem_with_time_var(self):
+        _, kern = make_3d7pt()
+        t = Stencil.t
+        app = kern[t - 2]
+        assert isinstance(app, KernelApply)
+        assert app.time_offset == -2
+
+    def test_at_current_time_rejected(self):
+        _, kern = make_3d7pt()
+        with pytest.raises(ValueError, match="past"):
+            kern.at(0)
+
+    def test_wrong_time_variable_rejected(self):
+        _, kern = make_3d7pt()
+        with pytest.raises(TypeError, match="Stencil.t"):
+            kern[VarExpr("s") - 1]
+
+
+class TestStencil:
+    def test_time_dependencies(self, stencil_3d7pt_2dep):
+        assert stencil_3d7pt_2dep.time_dependencies == 2
+        assert stencil_3d7pt_2dep.time_offsets == (-2, -1)
+
+    def test_required_window(self, stencil_3d7pt_2dep):
+        assert stencil_3d7pt_2dep.required_time_window == 3
+
+    def test_window_too_small_rejected(self):
+        tensor, kern = make_3d7pt(time_window=2)
+        t = Stencil.t
+        with pytest.raises(ValueError, match="window"):
+            Stencil(tensor, kern[t - 1] + kern[t - 2])
+
+    def test_radius_maxes_over_kernels(self):
+        tensor, kern = make_3d7pt()
+        k, j, i = kern.loop_vars
+        wide = Kernel("wide", (k, j, i),
+                      tensor[k, j, i - 1] + tensor[k, j, i + 1])
+        t = Stencil.t
+        st = Stencil(tensor, kern[t - 1] + wide[t - 2])
+        assert st.radius == (1, 1, 1)
+
+    def test_combination_terms_weights(self, stencil_3d7pt_2dep):
+        terms = stencil_3d7pt_2dep.combination_terms()
+        weights = sorted(w for w, _ in terms)
+        assert weights == [0.4, 0.6]
+
+    def test_combination_with_subtraction(self):
+        tensor, kern = make_3d7pt()
+        t = Stencil.t
+        st = Stencil(tensor, kern[t - 1] - 0.5 * kern[t - 2])
+        weights = {app.time_offset: w for w, app in st.combination_terms()}
+        assert weights == {-1: 1.0, -2: -0.5}
+
+    def test_nonlinear_combination_rejected(self):
+        tensor, kern = make_3d7pt()
+        t = Stencil.t
+        st = Stencil(tensor, kern[t - 1] * kern[t - 2])
+        with pytest.raises(ValueError, match="non-linear"):
+            st.combination_terms()
+
+    def test_no_kernels_rejected(self):
+        tensor, _ = make_3d7pt()
+        from repro.ir.expr import ConstExpr
+
+        with pytest.raises(ValueError, match="at least one"):
+            Stencil(tensor, ConstExpr(1.0))
+
+    def test_dimension_mismatch_rejected(self):
+        tensor2d, kern2d = make_2d5pt()
+        tensor3d, _ = make_3d7pt()
+        t = Stencil.t
+        with pytest.raises(ValueError, match="-D"):
+            Stencil(tensor3d, kern2d[t - 1])
+
+    def test_kernels_deduplicated(self, stencil_3d7pt_2dep):
+        # same kernel applied twice -> one distinct kernel
+        assert len(stencil_3d7pt_2dep.kernels) == 1
+        assert len(stencil_3d7pt_2dep.applications) == 2
+
+
+class TestKernelInternalTimeOffsets:
+    """Kernels may read deeper history via ``tensor.at(-k)``; the
+    effective step is the application offset plus the internal offset
+    and the window accounting must cover it."""
+
+    def _tensors(self, window):
+        from repro.ir import f64
+
+        j, i = VarExpr("j"), VarExpr("i")
+        B = SpNode("B", (12, 14), f64, halo=(1, 1), time_window=window)
+        return B, j, i
+
+    def test_required_window_includes_internal_offsets(self):
+        B, j, i = self._tensors(window=3)
+        kern = Kernel("K", (j, i), 0.5 * B[j, i] + 0.5 * B.at(-1)[j, i])
+        st = Stencil(B, kern[Stencil.t - 1])
+        assert st.deepest_read == -2
+        assert st.required_time_window == 3
+
+    def test_shallow_window_rejected(self):
+        B, j, i = self._tensors(window=2)
+        kern = Kernel("K", (j, i), 0.5 * B[j, i] + 0.5 * B.at(-1)[j, i])
+        with pytest.raises(ValueError, match="window"):
+            Stencil(B, kern[Stencil.t - 1])
+
+    def test_internal_offset_equivalent_to_two_applications(self, rng):
+        import numpy as np
+
+        from repro.backend.numpy_backend import reference_run
+        from repro.runtime.executor import distributed_run
+
+        B, j, i = self._tensors(window=3)
+        combined = Kernel(
+            "KC", (j, i),
+            0.6 * (0.5 * B[j, i] + 0.25 * (B[j, i - 1] + B[j, i + 1]))
+            + 0.4 * (0.5 * B.at(-1)[j, i]
+                     + 0.25 * (B.at(-1)[j, i - 1] + B.at(-1)[j, i + 1])),
+        )
+        single = Kernel(
+            "KS", (j, i),
+            0.5 * B[j, i] + 0.25 * (B[j, i - 1] + B[j, i + 1]),
+        )
+        t = Stencil.t
+        st_combined = Stencil(B, combined[t - 1])
+        st_split = Stencil(B, 0.6 * single[t - 1] + 0.4 * single[t - 2])
+        init = [rng.random((12, 14)) for _ in range(2)]
+        r1 = reference_run(st_combined, init, 4, boundary="periodic")
+        r2 = reference_run(st_split, init, 4, boundary="periodic")
+        np.testing.assert_allclose(r1, r2, rtol=1e-12)
+        dist = distributed_run(st_combined, init, 4, (2, 2),
+                               boundary="periodic")
+        np.testing.assert_array_equal(dist, r1)

@@ -1,0 +1,91 @@
+"""Unit tests for SpNode / TeNode tensors."""
+
+import pytest
+
+from repro.ir.dtypes import f32, f64
+from repro.ir.expr import TensorAccess, VarExpr
+from repro.ir.tensor import SpNode, TeNode, normalize_halo
+
+
+class TestNormalizeHalo:
+    def test_scalar_expands(self):
+        assert normalize_halo(2, 3) == (2, 2, 2)
+
+    def test_tuple_passthrough(self):
+        assert normalize_halo((1, 2), 2) == (1, 2)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_halo((1, 2, 3), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_halo(-1, 2)
+
+
+class TestSpNode:
+    def test_padded_shape(self):
+        B = SpNode("B", (10, 20), halo=(2, 3))
+        assert B.padded_shape == (14, 26)
+
+    def test_alloc_bytes_counts_window(self):
+        B = SpNode("B", (8, 8), f64, halo=(1, 1), time_window=3)
+        assert B.alloc_bytes == 10 * 10 * 8 * 3
+
+    def test_default_halo_is_one(self):
+        B = SpNode("B", (8, 8, 8))
+        assert B.halo == (1, 1, 1)
+
+    def test_npoints_and_nbytes(self):
+        B = SpNode("B", (4, 5, 6), f32)
+        assert B.npoints == 120
+        assert B.nbytes == 480
+
+    def test_window_lower_bound(self):
+        with pytest.raises(ValueError, match="time_window"):
+            SpNode("B", (8, 8), time_window=1)
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            SpNode("2bad", (8, 8))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            SpNode("B", (2, 2, 2, 2))
+
+    def test_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            SpNode("B", (0, 4))
+
+
+class TestTimeView:
+    def test_at_returns_offset_access(self):
+        B = SpNode("B", (8, 8), halo=(1, 1), time_window=3)
+        j, i = VarExpr("j"), VarExpr("i")
+        acc = B.at(-1)[j, i]
+        assert isinstance(acc, TensorAccess)
+        assert acc.time_offset == -1
+
+    def test_future_rejected(self):
+        B = SpNode("B", (8, 8))
+        with pytest.raises(ValueError, match="future"):
+            B.at(1)
+
+    def test_beyond_window_rejected(self):
+        B = SpNode("B", (8, 8), time_window=2)
+        with pytest.raises(ValueError, match="window"):
+            B.at(-2)
+
+
+class TestTeNode:
+    def test_for_spnode_strips_halo(self):
+        B = SpNode("B", (8, 8), halo=(2, 2))
+        tmp = TeNode.for_spnode(B)
+        assert tmp.shape == (8, 8)
+        assert tmp.name == "B_tmp"
+        assert not hasattr(tmp, "halo")
+
+    def test_subscriptable(self):
+        tmp = TeNode("tmp", (4, 4))
+        j, i = VarExpr("j"), VarExpr("i")
+        assert tmp[j, i].offsets == (0, 0)

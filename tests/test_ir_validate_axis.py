@@ -1,0 +1,98 @@
+"""Unit tests for IR validation and the Axis node."""
+
+import pytest
+
+from repro.ir import (
+    Axis,
+    Kernel,
+    SpNode,
+    Stencil,
+    ValidationError,
+    VarExpr,
+    f32,
+    f64,
+    validate_stencil,
+)
+from tests.conftest import make_3d7pt
+
+
+class TestValidateStencil:
+    def test_valid_program_passes(self, stencil_3d7pt_2dep):
+        validate_stencil(stencil_3d7pt_2dep)
+
+    def test_halo_too_small(self):
+        B = SpNode("B", (8, 8), halo=(1, 1), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        kern = Kernel("wide", (j, i), B[j, i - 2] + B[j, i])
+        st = Stencil.__new__(Stencil)
+        object.__setattr__(st, "output", B)
+        object.__setattr__(st, "expr", kern[Stencil.t - 1])
+        with pytest.raises(ValidationError) as err:
+            validate_stencil(st)
+        assert any("radius" in issue for issue in err.value.issues)
+
+    def test_mixed_dtypes_flagged(self):
+        B = SpNode("B", (8, 8), f64, halo=(1, 1), time_window=2)
+        C = SpNode("C", (8, 8), f32, halo=(1, 1), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        kern = Kernel("mix", (j, i), B[j, i] + C[j, i])
+        st = Stencil(B, kern[Stencil.t - 1])
+        with pytest.raises(ValidationError) as err:
+            validate_stencil(st)
+        assert any("mixed dtypes" in issue for issue in err.value.issues)
+
+    def test_all_issues_collected(self):
+        B = SpNode("B", (8, 8), f64, halo=(0, 0), time_window=2)
+        C = SpNode("C", (8, 8), f32, halo=(0, 0), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        kern = Kernel("bad", (j, i), B[j, i - 1] + C[j, i])
+        st = Stencil.__new__(Stencil)
+        object.__setattr__(st, "output", B)
+        object.__setattr__(st, "expr", kern[Stencil.t - 1])
+        with pytest.raises(ValidationError) as err:
+            validate_stencil(st)
+        assert len(err.value.issues) >= 2
+
+
+class TestAxis:
+    def test_extent(self):
+        ax = Axis(VarExpr("i"), 0, 0, 10)
+        assert ax.extent == 10
+
+    def test_strided_extent_rounds_up(self):
+        ax = Axis(VarExpr("i"), 0, 0, 10, stride=3)
+        assert ax.extent == 4
+
+    def test_split_exact(self):
+        ax = Axis(VarExpr("i"), 0, 0, 64)
+        outer, inner = ax.split(16, "io", "ii")
+        assert outer.extent == 4 and inner.extent == 16
+        assert outer.parent == "i" and outer.role == "outer"
+        assert inner.parent == "i" and inner.role == "inner"
+
+    def test_split_rounds_up(self):
+        ax = Axis(VarExpr("i"), 0, 0, 10)
+        outer, inner = ax.split(4, "io", "ii")
+        assert outer.extent == 3  # ceil(10/4)
+
+    def test_split_factor_too_large(self):
+        ax = Axis(VarExpr("i"), 0, 0, 8)
+        with pytest.raises(ValueError, match="exceeds"):
+            ax.split(16, "io", "ii")
+
+    def test_split_strided_rejected(self):
+        ax = Axis(VarExpr("i"), 0, 0, 8, stride=2)
+        with pytest.raises(ValueError, match="strided"):
+            ax.split(2, "io", "ii")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Axis(VarExpr("i"), 0, 5, 3)
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Axis(VarExpr("i"), 0, 0, 4, stride=0)
+
+    def test_with_order(self):
+        ax = Axis(VarExpr("i"), 0, 0, 4)
+        assert ax.with_order(3).order == 3

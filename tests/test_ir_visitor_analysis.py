@@ -1,0 +1,167 @@
+"""Unit tests for IR traversal/rewriting and the Table-4 analyses."""
+
+import pytest
+
+from repro.ir import (
+    Kernel,
+    SpNode,
+    Stencil,
+    TeNode,
+    VarExpr,
+    characterize_kernel,
+    classify_shape,
+    f32,
+    halo_traffic_bytes,
+    stencil_flops_per_point,
+    total_traffic_bytes,
+)
+from repro.ir.expr import ConstExpr, OperatorExpr, TensorAccess
+from repro.ir.visitor import (
+    count_nodes,
+    fold_constants,
+    shift_offsets,
+    substitute_tensor,
+    transform,
+)
+from tests.conftest import make_2d5pt, make_3d7pt
+
+
+class TestTransform:
+    def test_identity_when_fn_returns_none(self):
+        _, kern = make_2d5pt()
+        out = transform(kern.expr, lambda n: None)
+        assert out.c_source() == kern.expr.c_source()
+
+    def test_replace_constants(self):
+        _, kern = make_2d5pt()
+        out = transform(
+            kern.expr,
+            lambda n: ConstExpr(1.0) if isinstance(n, ConstExpr) else None,
+        )
+        consts = {n.value for n in out.walk() if isinstance(n, ConstExpr)}
+        assert consts == {1.0}
+
+
+class TestSubstituteTensor:
+    def test_rewrites_accesses_preserving_offsets(self):
+        tensor, kern = make_2d5pt()
+        buf = TeNode("spm_buf", tensor.shape, tensor.dtype)
+        out = substitute_tensor(kern.expr, {"A": buf})
+        names = {
+            n.tensor.name for n in out.walk() if isinstance(n, TensorAccess)
+        }
+        assert names == {"spm_buf"}
+        offsets = sorted(
+            n.offsets for n in out.walk() if isinstance(n, TensorAccess)
+        )
+        orig = sorted(
+            n.offsets for n in kern.expr.walk()
+            if isinstance(n, TensorAccess)
+        )
+        assert offsets == orig
+
+    def test_unmapped_tensors_untouched(self):
+        _, kern = make_2d5pt()
+        out = substitute_tensor(kern.expr, {"Z": TeNode("z", (4, 4))})
+        names = {
+            n.tensor.name for n in out.walk() if isinstance(n, TensorAccess)
+        }
+        assert names == {"A"}
+
+
+class TestShiftOffsets:
+    def test_shift_adds_halo(self):
+        _, kern = make_2d5pt()
+        out = shift_offsets(kern.expr, (1, 1))
+        offsets = {
+            n.offsets for n in out.walk() if isinstance(n, TensorAccess)
+        }
+        assert (1, 1) in offsets  # centre moved to (1, 1)
+        assert (1, 0) in offsets  # (0, -1) moved
+
+    def test_rank_mismatch_rejected(self):
+        _, kern = make_2d5pt()
+        with pytest.raises(ValueError):
+            shift_offsets(kern.expr, (1, 1, 1))
+
+
+class TestFoldConstants:
+    def test_folds_nested(self):
+        e = (ConstExpr(2) + ConstExpr(3)) * ConstExpr(4)
+        out = fold_constants(e)
+        assert isinstance(out, ConstExpr) and out.value == 20
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            fold_constants(ConstExpr(1) / ConstExpr(0))
+
+    def test_mixed_left_unfolded(self):
+        _, kern = make_2d5pt()
+        out = fold_constants(kern.expr)
+        assert count_nodes(out, TensorAccess) == 5
+
+
+class TestCharacterize:
+    def test_3d7pt_matches_table4(self):
+        _, kern = make_3d7pt()
+        ch = characterize_kernel(kern, time_dependencies=2)
+        assert ch.read_bytes == 56  # 7 points × 8 B
+        assert ch.write_bytes == 8
+        assert ch.time_dependencies == 2
+
+    def test_fp32_halves_bytes(self):
+        _, kern = make_3d7pt(dtype=f32)
+        ch = characterize_kernel(kern)
+        assert ch.read_bytes == 28
+
+    def test_operational_intensity(self):
+        _, kern = make_3d7pt()
+        ch = characterize_kernel(kern)
+        assert ch.operational_intensity == pytest.approx(
+            ch.ops / (56 + 8)
+        )
+
+
+class TestClassifyShape:
+    def test_star(self):
+        _, kern = make_3d7pt()
+        assert classify_shape(kern) == "star"
+
+    def test_box(self):
+        B = SpNode("B", (8, 8), halo=(1, 1))
+        j, i = VarExpr("j"), VarExpr("i")
+        kern = Kernel("box", (j, i), B[j - 1, i - 1] + B[j, i])
+        assert classify_shape(kern) == "box"
+
+
+class TestTraffic:
+    def test_stencil_flops_include_combine(self, stencil_3d7pt_2dep):
+        kern = stencil_3d7pt_2dep.kernels[0]
+        assert stencil_flops_per_point(stencil_3d7pt_2dep) == (
+            2 * kern.flops() + 1
+        )
+
+    def test_total_traffic(self, stencil_3d7pt_2dep):
+        read, write = total_traffic_bytes(stencil_3d7pt_2dep, 1000)
+        kern = stencil_3d7pt_2dep.kernels[0]
+        assert read == 2 * kern.npoints * 8 * 1000
+        assert write == 8 * 1000
+
+    def test_halo_traffic_star_faces_only(self, stencil_3d7pt_2dep):
+        # 8^3 sub-domain, radius 1 star: 6 faces of 64 points
+        bytes_ = halo_traffic_bytes(stencil_3d7pt_2dep, (8, 8, 8))
+        assert bytes_ == 6 * 64 * 8
+
+    def test_halo_traffic_box_includes_corners(self):
+        B = SpNode("B", (8, 8), halo=(1, 1), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        kern = Kernel("box", (j, i), B[j - 1, i - 1] + B[j, i])
+        st = Stencil(B, kern[Stencil.t - 1])
+        bytes_ = halo_traffic_bytes(st, (8, 8))
+        faces = 4 * 8 * 8
+        corners = 4 * 1 * 8
+        assert bytes_ == faces + corners
+
+    def test_rank_mismatch_rejected(self, stencil_3d7pt_2dep):
+        with pytest.raises(ValueError):
+            halo_traffic_bytes(stencil_3d7pt_2dep, (8, 8))

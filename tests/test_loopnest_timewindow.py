@@ -1,0 +1,137 @@
+"""Unit tests for LoopNest tile enumeration and the sliding time window."""
+
+import numpy as np
+import pytest
+
+from repro.ir import SpNode, f32, f64
+from repro.schedule import (
+    Schedule,
+    SlidingTimeWindow,
+    full_history_bytes,
+    window_memory_bytes,
+)
+from tests.conftest import make_3d7pt
+
+
+@pytest.fixture
+def nest():
+    _, kern = make_3d7pt(shape=(16, 16, 16))
+    s = Schedule(kern)
+    s.tile(4, 8, 16, "xo", "xi", "yo", "yi", "zo", "zi")
+    s.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+    s.parallel("xo", 4)
+    return s.lower((16, 16, 16))
+
+
+class TestLoopNest:
+    def test_ntiles(self, nest):
+        assert nest.ntiles == 4 * 2 * 1
+
+    def test_tiles_cover_domain_exactly(self, nest):
+        seen = np.zeros((16, 16, 16), dtype=int)
+        for tile in nest.iter_tiles():
+            (k_lo, k_hi) = tile.extent("k")
+            (j_lo, j_hi) = tile.extent("j")
+            (i_lo, i_hi) = tile.extent("i")
+            seen[k_lo:k_hi, j_lo:j_hi, i_lo:i_hi] += 1
+        assert (seen == 1).all()
+
+    def test_edge_tiles_clipped(self):
+        _, kern = make_3d7pt(shape=(10, 10, 10))
+        s = Schedule(kern).tile(4, 4, 4, "xo", "xi", "yo", "yi", "zo", "zi")
+        nest = s.lower((10, 10, 10))
+        shapes = {t.shape() for t in nest.iter_tiles()}
+        assert (4, 4, 4) in shapes and (2, 2, 2) in shapes
+
+    def test_worker_partition_is_disjoint_cover(self, nest):
+        all_ids = set()
+        for w in range(4):
+            ids = {t.linear_id for t in nest.tiles_for_worker(w, 4)}
+            assert not (all_ids & ids)
+            all_ids |= ids
+        assert all_ids == set(range(nest.ntiles))
+
+    def test_worker_out_of_range(self, nest):
+        with pytest.raises(ValueError):
+            list(nest.tiles_for_worker(4, 4))
+
+    def test_tile_shape_in_domain_order(self, nest):
+        assert nest.tile_shape() == (4, 8, 16)
+
+    def test_describe_mentions_parallel(self, nest):
+        assert "[parallel]" in nest.describe()
+
+    def test_unknown_axis_lookup(self, nest):
+        with pytest.raises(KeyError):
+            nest.axis("nope")
+
+
+class TestSlidingTimeWindow:
+    def test_rotation_keeps_w_planes(self):
+        B = SpNode("B", (4, 4), halo=(1, 1), time_window=3)
+        win = SlidingTimeWindow(B)
+        win.seed(0, np.zeros((4, 4)))
+        win.seed(1, np.ones((4, 4)))
+        for t in range(2, 8):
+            plane = win.advance(t)
+            win.interior_view(plane)[...] = t
+        assert win.live_steps() == (5, 6, 7)
+        assert win.valid(7)[0, 0] == 7
+
+    def test_expired_plane_raises(self):
+        B = SpNode("B", (4, 4), halo=(1, 1), time_window=2)
+        win = SlidingTimeWindow(B)
+        win.seed(0, np.zeros((4, 4)))
+        win.advance(1)
+        win.advance(2)
+        with pytest.raises(KeyError, match="no longer"):
+            win.plane(0)
+
+    def test_advance_must_be_sequential(self):
+        B = SpNode("B", (4, 4), time_window=2)
+        win = SlidingTimeWindow(B)
+        win.seed(0, np.zeros((4, 4)))
+        with pytest.raises(ValueError, match="one step"):
+            win.advance(5)
+
+    def test_seed_shape_checked(self):
+        B = SpNode("B", (4, 4), time_window=2)
+        win = SlidingTimeWindow(B)
+        with pytest.raises(ValueError, match="shape"):
+            win.seed(0, np.zeros((5, 5)))
+
+    def test_window_cannot_exceed_declared(self):
+        B = SpNode("B", (4, 4), time_window=2)
+        with pytest.raises(ValueError, match="exceeds"):
+            SlidingTimeWindow(B, window=3)
+
+    def test_halo_in_plane_not_in_valid(self):
+        B = SpNode("B", (4, 4), halo=(2, 2), time_window=2)
+        win = SlidingTimeWindow(B)
+        win.seed(0, np.ones((4, 4)))
+        assert win.plane(0).shape == (8, 8)
+        assert win.valid(0).shape == (4, 4)
+
+    def test_valid_is_view_not_copy(self):
+        B = SpNode("B", (4, 4), time_window=2)
+        win = SlidingTimeWindow(B)
+        win.seed(0, np.zeros((4, 4)))
+        win.valid(0)[...] = 7.0
+        assert win.plane(0)[1, 1] == 7.0
+
+
+class TestMemoryAccounting:
+    def test_window_constant_in_time(self):
+        # Fig. 5: sliding window memory does not grow with T
+        B = SpNode("B", (64, 64), halo=(1, 1), time_window=3)
+        assert window_memory_bytes(B) == 66 * 66 * 8 * 3
+
+    def test_full_history_grows(self):
+        B = SpNode("B", (64, 64), halo=(1, 1), time_window=3)
+        assert full_history_bytes(B, 100) == 66 * 66 * 8 * 100
+        assert full_history_bytes(B, 100) > 30 * window_memory_bytes(B)
+
+    def test_window_nbytes_matches_model(self):
+        B = SpNode("B", (8, 8), f32, halo=(1, 1), time_window=4)
+        win = SlidingTimeWindow(B)
+        assert win.nbytes == window_memory_bytes(B)

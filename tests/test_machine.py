@@ -1,0 +1,208 @@
+"""Unit tests for machine specs, SPM, DMA, cache and roofline models."""
+
+import pytest
+
+from repro.machine import (
+    CacheModel,
+    DMAEngine,
+    Roofline,
+    SPMAllocationError,
+    SPMAllocator,
+    machine_by_name,
+)
+from repro.machine.spec import (
+    CPU_E5_2680V4,
+    MATRIX_SN,
+    SUNWAY_CG,
+    SUNWAY_NETWORK,
+    TIANHE3_NETWORK,
+)
+
+
+class TestSpecs:
+    def test_sunway_peak_matches_paper(self):
+        # 4 CGs ≈ the chip's 3.06 TFlops (Sec. 2.2)
+        assert 4 * SUNWAY_CG.peak_gflops == pytest.approx(2969.6, rel=0.05)
+
+    def test_matrix_chip_peak(self):
+        from repro.machine.spec import MATRIX_CHIP
+
+        # Sec. 2.2: 2.048 TFlops DP
+        assert MATRIX_CHIP.peak_gflops == pytest.approx(2048.0)
+
+    def test_sunway_is_cacheless_with_64kb_spm(self):
+        assert SUNWAY_CG.cacheless
+        assert SUNWAY_CG.spm_bytes == 64 * 1024
+
+    def test_fp32_doubles_peak(self):
+        assert SUNWAY_CG.peak_gflops_for("fp32") == (
+            2 * SUNWAY_CG.peak_gflops_for("fp64")
+        )
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            SUNWAY_CG.peak_gflops_for("fp16")
+
+    def test_lookup_aliases(self):
+        assert machine_by_name("sunway") is SUNWAY_CG
+        assert machine_by_name("matrix") is MATRIX_SN
+        assert machine_by_name("cpu") is CPU_E5_2680V4
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            machine_by_name("gpu")
+
+    def test_network_ptp_time(self):
+        t = SUNWAY_NETWORK.ptp_time_s(2_000_000)
+        assert t == pytest.approx(
+            1e-6 + 2e6 / (SUNWAY_NETWORK.link_bw_GBs * 1e9)
+        )
+
+    def test_tianhe3_has_2d_sync_constant(self):
+        assert TIANHE3_NETWORK.sync_2d_us_per_32p > 0
+        assert SUNWAY_NETWORK.sync_2d_us_per_32p < (
+            TIANHE3_NETWORK.sync_2d_us_per_32p
+        )
+
+
+class TestSPMAllocator:
+    def test_alloc_and_utilisation(self):
+        spm = SPMAllocator(1024, align=32)
+        spm.alloc("a", 100)  # rounds to 128
+        assert spm.used == 128
+        assert spm.utilisation == pytest.approx(128 / 1024)
+
+    def test_overflow_raises(self):
+        spm = SPMAllocator(256)
+        spm.alloc("a", 200)
+        with pytest.raises(SPMAllocationError, match="overflow"):
+            spm.alloc("b", 100)
+
+    def test_duplicate_name(self):
+        spm = SPMAllocator(1024)
+        spm.alloc("a", 64)
+        with pytest.raises(ValueError, match="already"):
+            spm.alloc("a", 64)
+
+    def test_free_reclaims_tail(self):
+        spm = SPMAllocator(256)
+        spm.alloc("a", 64)
+        spm.alloc("b", 64)
+        spm.free("b")
+        spm.alloc("c", 128)  # fits only if b's space was reclaimed
+        assert "c" in spm
+
+    def test_peak_tracks_high_water(self):
+        spm = SPMAllocator(1024)
+        spm.alloc("a", 512)
+        spm.free("a")
+        spm.alloc("b", 64)
+        assert spm.peak == 512
+
+    def test_reset(self):
+        spm = SPMAllocator(1024)
+        spm.alloc("a", 512)
+        spm.reset()
+        assert spm.used == 0
+        spm.alloc("a", 1024)  # full capacity again
+
+    def test_free_unknown(self):
+        with pytest.raises(KeyError):
+            SPMAllocator(128).free("zz")
+
+    def test_alignment_power_of_two(self):
+        with pytest.raises(ValueError):
+            SPMAllocator(128, align=30)
+
+
+class TestDMAEngine:
+    def test_transfer_time_model(self):
+        eng = DMAEngine(startup_us=1.0, share_bw_GBs=1.0)
+        t = eng.get(1_000_000)
+        assert t == pytest.approx(1e-6 + 1e6 / 1e9)
+
+    def test_small_transfers_charged_minimum(self):
+        eng = DMAEngine(startup_us=0.0, share_bw_GBs=1.0,
+                        min_efficient_bytes=256)
+        assert eng.get(8) == eng.get(256)
+
+    def test_stats_accumulate(self):
+        eng = DMAEngine(startup_us=0.1, share_bw_GBs=1.0)
+        eng.get(1000)
+        eng.put(500)
+        assert eng.stats.n_gets == 1 and eng.stats.n_puts == 1
+        assert eng.stats.total_bytes == 1500
+
+    def test_zero_bytes_rejected(self):
+        eng = DMAEngine(0.1, 1.0)
+        with pytest.raises(ValueError):
+            eng.get(0)
+
+    def test_stats_merge_parallel_time(self):
+        from repro.machine.dma import DMAStats
+
+        a = DMAStats(1, 1, 10, 10, 1.0)
+        b = DMAStats(2, 2, 20, 20, 2.0)
+        m = a.merge(b)
+        assert m.n_transfers == 6
+        assert m.time_s == 2.0  # engines run in parallel
+
+
+class TestCacheModel:
+    def test_fitting_tile_traffic_near_compulsory(self):
+        cache = CacheModel(512 * 1024)
+        est = cache.estimate((2, 8, 256), (1, 1, 1), 8, 7, planes=2)
+        assert est.fits_in_cache
+        # traffic per point should be a small multiple of elem size
+        assert est.read_bytes_per_point < 8 * 2 * 4
+
+    def test_non_fitting_tile_loses_reuse(self):
+        cache = CacheModel(512 * 1024)
+        big = cache.estimate((64, 64, 64), (4, 4, 4), 8, 25, planes=2)
+        small = cache.estimate((2, 8, 64), (4, 4, 4), 8, 25, planes=2)
+        assert not big.fits_in_cache
+        assert small.fits_in_cache
+        assert big.read_bytes_per_point > small.read_bytes_per_point
+
+    def test_halo_overhead_grows_as_tiles_shrink(self):
+        cache = CacheModel(512 * 1024)
+        small = cache.halo_overhead((2, 2), (2, 2))
+        large = cache.halo_overhead((64, 64), (2, 2))
+        assert small > large > 1.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CacheModel(0)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        roof = Roofline(SUNWAY_CG)
+        assert roof.ridge_oi == pytest.approx(
+            SUNWAY_CG.peak_gflops / SUNWAY_CG.mem_bw_GBs
+        )
+
+    def test_attainable_caps_at_peak(self):
+        roof = Roofline(SUNWAY_CG)
+        assert roof.attainable(1e9) == roof.peak
+        assert roof.attainable(1.0) == SUNWAY_CG.mem_bw_GBs
+
+    def test_bound_classification(self):
+        roof = Roofline(SUNWAY_CG)
+        assert roof.bound(roof.ridge_oi / 2) == "memory"
+        assert roof.bound(roof.ridge_oi * 2) == "compute"
+
+    def test_place_rejects_superluminal(self):
+        roof = Roofline(SUNWAY_CG)
+        with pytest.raises(ValueError, match="exceeds"):
+            roof.place("x", 1.0, SUNWAY_CG.mem_bw_GBs * 10)
+
+    def test_negative_oi_rejected(self):
+        with pytest.raises(ValueError):
+            Roofline(SUNWAY_CG).attainable(-1)
+
+    def test_roof_series(self):
+        roof = Roofline(MATRIX_SN)
+        series = roof.roof_series([0.1, 1.0, 100.0])
+        assert len(series) == 3
+        assert series[-1][1] == roof.peak

@@ -1,0 +1,229 @@
+"""Tests for multi-stage pipelines (STELLA-style, Sec. 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.backend.pipeline_exec import (
+    PipelineExecutor,
+    distributed_pipeline_run,
+)
+from repro.ir import (
+    Kernel,
+    SpNode,
+    StagePipeline,
+    Stencil,
+    ValidationError,
+    VarExpr,
+    f64,
+)
+
+
+def _tensors(shape=(16, 16)):
+    U = SpNode("U", shape, f64, halo=(1, 1), time_window=2)
+    R = SpNode("R", shape, f64, halo=(1, 1), time_window=2)
+    return U, R
+
+
+def _smoother_residual(shape=(16, 16)):
+    """HPGMG-style two-stage pipeline: Jacobi smooth, then residual."""
+    U, R = _tensors(shape)
+    j, i = VarExpr("j"), VarExpr("i")
+    smooth = Kernel(
+        "smooth", (j, i),
+        0.5 * U[j, i] + 0.125 * (U[j, i - 1] + U[j, i + 1]
+                                 + U[j - 1, i] + U[j + 1, i]),
+    )
+    resid = Kernel(
+        "resid", (j, i),
+        4.0 * U[j, i] - (U[j, i - 1] + U[j, i + 1]
+                         + U[j - 1, i] + U[j + 1, i]),
+    )
+    t = Stencil.t
+    return StagePipeline((
+        Stencil(U, smooth[t - 1]),
+        Stencil(R, resid[t - 1]),
+    ))
+
+
+class TestValidation:
+    def test_valid_pipeline(self):
+        pipe = _smoother_residual()
+        assert pipe.nstages == 2
+        assert [o.name for o in pipe.outputs] == ["U", "R"]
+
+    def test_required_history(self):
+        pipe = _smoother_residual()
+        assert pipe.required_history() == {"U": 1, "R": 0}
+
+    def test_duplicate_outputs_rejected(self):
+        U, _ = _tensors()
+        j, i = VarExpr("j"), VarExpr("i")
+        k = Kernel("k", (j, i), U[j, i])
+        s = Stencil(U, k[Stencil.t - 1])
+        with pytest.raises(ValueError, match="distinct"):
+            StagePipeline((s, s))
+
+    def test_forward_reference_rejected(self):
+        # stage 1 reads stage 2's current-step output
+        U, R = _tensors()
+        j, i = VarExpr("j"), VarExpr("i")
+        uses_r = Kernel("uses_r", (j, i), R[j, i] + U[j, i])
+        makes_r = Kernel("makes_r", (j, i), 1.0 * U[j, i])
+        t = Stencil.t
+        with pytest.raises(ValidationError, match="runs later"):
+            StagePipeline((
+                Stencil(U, uses_r[t - 1]),
+                Stencil(R, makes_r[t - 1]),
+            ))
+
+    def test_previous_step_cross_read_allowed(self):
+        # stage 1 may read stage 2's *previous* output (offset -1)
+        U, R = _tensors()
+        j, i = VarExpr("j"), VarExpr("i")
+        uses_r_old = Kernel(
+            "uses_r_old", (j, i), R.at(-1)[j, i] + U[j, i]
+        )
+        makes_r = Kernel("makes_r", (j, i), 1.0 * U[j, i])
+        t = Stencil.t
+        pipe = StagePipeline((
+            Stencil(U, uses_r_old[t - 1]),
+            Stencil(R, makes_r[t - 1]),
+        ))
+        assert pipe.required_history() == {"U": 1, "R": 1}
+
+    def test_shape_mismatch_rejected(self):
+        U = SpNode("U", (16, 16), f64, halo=(1, 1), time_window=2)
+        R = SpNode("R", (8, 8), f64, halo=(1, 1), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        t = Stencil.t
+        with pytest.raises(ValidationError, match="domain shape"):
+            StagePipeline((
+                Stencil(U, Kernel("a", (j, i), 1.0 * U[j, i])[t - 1]),
+                Stencil(R, Kernel("b", (j, i), 1.0 * R[j, i])[t - 1]),
+            ))
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            StagePipeline(())
+
+    def test_aux_tensors_detected(self):
+        U, R = _tensors()
+        C = SpNode("C", (16, 16), f64, halo=(0, 0), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        t = Stencil.t
+        pipe = StagePipeline((
+            Stencil(U, Kernel("a", (j, i), C[j, i] * U[j, i])[t - 1]),
+            Stencil(R, Kernel("b", (j, i), 1.0 * U[j, i])[t - 1]),
+        ))
+        assert set(pipe.aux_tensors()) == {"C"}
+
+
+class TestSerialExecution:
+    def test_matches_manual_two_stage(self, rng):
+        pipe = _smoother_residual()
+        u0 = rng.random((16, 16))
+        res = PipelineExecutor(pipe, boundary="periodic").run(
+            {"U": [u0]}, 3
+        )
+
+        def wrap(a):
+            p = np.zeros((18, 18))
+            p[1:17, 1:17] = a
+            p[0, 1:17] = a[-1]
+            p[17, 1:17] = a[0]
+            p[1:17, 0] = a[:, -1]
+            p[1:17, 17] = a[:, 0]
+            return p
+
+        u = u0.copy()
+        for _ in range(3):
+            p = wrap(u)
+            u = 0.5 * p[1:17, 1:17] + 0.125 * (
+                p[1:17, 0:16] + p[1:17, 2:18]
+                + p[0:16, 1:17] + p[2:18, 1:17]
+            )
+        p = wrap(u)
+        r = 4 * p[1:17, 1:17] - (
+            p[1:17, 0:16] + p[1:17, 2:18] + p[0:16, 1:17] + p[2:18, 1:17]
+        )
+        np.testing.assert_allclose(res["U"], u, rtol=1e-13)
+        np.testing.assert_allclose(res["R"], r, rtol=1e-12, atol=1e-12)
+
+    def test_missing_seed_rejected(self):
+        pipe = _smoother_residual()
+        with pytest.raises(ValueError, match="seed"):
+            PipelineExecutor(pipe).run({}, 1)
+
+    def test_missing_aux_rejected(self, rng):
+        U, R = _tensors()
+        C = SpNode("C", (16, 16), f64, halo=(0, 0), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        t = Stencil.t
+        pipe = StagePipeline((
+            Stencil(U, Kernel("a", (j, i), C[j, i] * U[j, i])[t - 1]),
+            Stencil(R, Kernel("b", (j, i), 1.0 * U[j, i])[t - 1]),
+        ))
+        with pytest.raises(ValueError, match="auxiliary"):
+            PipelineExecutor(pipe)
+
+    def test_single_stage_equals_reference_run(self, rng):
+        from repro.backend.numpy_backend import reference_run
+
+        U = SpNode("U", (12, 12), f64, halo=(1, 1), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        k = Kernel(
+            "k", (j, i),
+            0.6 * U[j, i] + 0.1 * (U[j, i - 1] + U[j, i + 1]
+                                   + U[j - 1, i] + U[j + 1, i]),
+        )
+        st = Stencil(U, k[Stencil.t - 1])
+        pipe = StagePipeline((st,))
+        u0 = rng.random((12, 12))
+        res = PipelineExecutor(pipe, boundary="zero").run({"U": [u0]}, 4)
+        ref = reference_run(st, [u0], 4, boundary="zero")
+        np.testing.assert_array_equal(res["U"], ref)
+
+
+class TestDistributedExecution:
+    @pytest.mark.parametrize("boundary", ["zero", "periodic"])
+    def test_matches_serial(self, rng, boundary):
+        pipe = _smoother_residual((20, 24))
+        u0 = rng.random((20, 24))
+        serial = PipelineExecutor(pipe, boundary=boundary).run(
+            {"U": [u0]}, 4
+        )
+        dist = distributed_pipeline_run(
+            pipe, {"U": [u0]}, 4, (2, 3), boundary=boundary
+        )
+        for name in ("U", "R"):
+            np.testing.assert_array_equal(dist[name], serial[name])
+
+    def test_three_stage_chain(self, rng):
+        shape = (16, 16)
+        A = SpNode("A", shape, f64, halo=(1, 1), time_window=2)
+        Bt = SpNode("Bt", shape, f64, halo=(1, 1), time_window=2)
+        Ct = SpNode("Ct", shape, f64, halo=(1, 1), time_window=2)
+        j, i = VarExpr("j"), VarExpr("i")
+        t = Stencil.t
+        pipe = StagePipeline((
+            Stencil(A, Kernel(
+                "s1", (j, i),
+                0.5 * A[j, i] + 0.25 * (A[j, i - 1] + A[j, i + 1]),
+            )[t - 1]),
+            Stencil(Bt, Kernel(
+                "s2", (j, i),
+                0.5 * A[j, i] + 0.25 * (A[j - 1, i] + A[j + 1, i]),
+            )[t - 1]),
+            Stencil(Ct, Kernel(
+                "s3", (j, i), 2.0 * Bt[j, i] - A[j, i],
+            )[t - 1]),
+        ))
+        a0 = rng.random(shape)
+        serial = PipelineExecutor(pipe, boundary="periodic").run(
+            {"A": [a0]}, 3
+        )
+        dist = distributed_pipeline_run(
+            pipe, {"A": [a0]}, 3, (2, 2), boundary="periodic"
+        )
+        for name in ("A", "Bt", "Ct"):
+            np.testing.assert_array_equal(dist[name], serial[name])

@@ -1,0 +1,22 @@
+"""The README quickstart must stay executable as written."""
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+
+def test_readme_quickstart_block_runs():
+    readme = (Path(__file__).parent.parent / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+    assert blocks, "README has no python quickstart block"
+    code = blocks[0]
+    # shrink the paper-sized grid so the test stays fast
+    code = code.replace("256, 256, 256", "24, 24, 24")
+    code = code.replace('S.tile(2, 8, 64', 'S.tile(2, 8, 24')
+    namespace = {}
+    exec(compile(code, "<README quickstart>", "exec"), namespace)
+    assert namespace["result"].shape == (24, 24, 24)
+    assert np.isfinite(namespace["result"]).all()
+    assert "athread_spawn" in namespace["code"].files["3d7pt_master.c"]
+    assert namespace["report"].gflops > 0

@@ -1,0 +1,140 @@
+"""Tests for runtime scalar coefficients (free DefVar symbols)."""
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+import repro as msc
+from repro.backend.numpy_backend import (
+    ScheduledExecutor,
+    evaluate_kernel,
+    reference_run,
+)
+from repro.ir import Kernel, SpNode, Stencil, VarExpr, f64
+from repro.ir.analysis import free_scalars
+
+needs_gcc = pytest.mark.skipif(
+    shutil.which("gcc") is None, reason="gcc not available"
+)
+
+
+def _scalar_program(shape=(12, 16)):
+    j, i = msc.indices("j i")
+    c0 = msc.DefVar("c0", msc.f64)
+    c1 = msc.DefVar("c1", msc.f64)
+    A = msc.DefTensor2D_TimeWin("A", 2, 1, msc.f64, *shape)
+    K = msc.Kernel(
+        "K", (j, i), c0 * A[j, i] + c1 * (A[j, i - 1] + A[j, i + 1])
+    )
+    t = msc.StencilProgram.t
+    prog = msc.StencilProgram(A, K[t - 1], boundary="periodic")
+    return prog, A
+
+
+class TestFreeScalarDiscovery:
+    def test_finds_coefficients_not_indices(self):
+        prog, _ = _scalar_program()
+        assert free_scalars(prog.ir) == ["c0", "c1"]
+
+    def test_literal_kernel_has_none(self, stencil_3d7pt_2dep):
+        assert free_scalars(stencil_3d7pt_2dep) == []
+
+
+class TestEvaluation:
+    def test_evaluate_kernel_binds_scalars(self):
+        j, i = VarExpr("j"), VarExpr("i")
+        w = VarExpr("w", "f64")
+        A = SpNode("A", (4, 4), f64, halo=(1, 1))
+        kern = Kernel("k", (j, i), w * A[j, i])
+        padded = np.ones((6, 6))
+        out = evaluate_kernel(
+            kern, {("A", 0): padded}, {"A": (1, 1)},
+            scalars={"w": 3.0},
+        )
+        assert (out == 3.0).all()
+
+    def test_unbound_scalar_reported(self):
+        j, i = VarExpr("j"), VarExpr("i")
+        w = VarExpr("w", "f64")
+        A = SpNode("A", (4, 4), f64, halo=(1, 1))
+        kern = Kernel("k", (j, i), w * A[j, i])
+        with pytest.raises(KeyError, match="no bound value"):
+            evaluate_kernel(
+                kern, {("A", 0): np.ones((6, 6))}, {"A": (1, 1)}
+            )
+
+    def test_scalar_equals_literal_version(self, rng):
+        prog, A = _scalar_program()
+        prog.set_scalar("c0", 0.5).set_scalar("c1", 0.25)
+        a0 = rng.random((12, 16))
+        prog.set_initial([a0])
+        got = prog.run(4)
+
+        j, i = msc.indices("j i")
+        B = msc.DefTensor2D_TimeWin("A", 2, 1, msc.f64, 12, 16)
+        lit = msc.Kernel(
+            "lit", (j, i), 0.5 * B[j, i] + 0.25 * (B[j, i - 1]
+                                                   + B[j, i + 1])
+        )
+        st = Stencil(B, lit[Stencil.t - 1])
+        ref = reference_run(st, [a0], 4, boundary="periodic")
+        np.testing.assert_array_equal(got, ref)
+
+    def test_distributed_scalars(self, rng):
+        prog, _ = _scalar_program((16, 16))
+        prog.set_scalar("c0", 0.4).set_scalar("c1", 0.3)
+        a0 = rng.random((16, 16))
+        prog.set_initial([a0])
+        serial = prog.run(3)
+        prog.set_mpi_grid((2, 2))
+        dist = prog.run(3)
+        np.testing.assert_array_equal(dist, serial)
+
+    def test_scheduled_executor_scalars(self, rng):
+        prog, _ = _scalar_program()
+        a0 = rng.random((12, 16))
+        ref = reference_run(prog.ir, [a0], 3, boundary="periodic",
+                            scalars={"c0": 0.6, "c1": 0.2})
+        ex = ScheduledExecutor(prog.ir, {}, boundary="periodic",
+                               scalars={"c0": 0.6, "c1": 0.2})
+        got = ex.run([a0], 3)
+        np.testing.assert_array_equal(got, ref)
+
+
+class TestCodegen:
+    def test_constants_emitted(self):
+        prog, _ = _scalar_program()
+        prog.set_scalar("c0", 0.5).set_scalar("c1", 0.25)
+        src = prog.compile_to_source_code("s", target="cpu").main_source
+        assert "static const real c0 = 0.5;" in src
+        assert "static const real c1 = 0.25;" in src
+
+    def test_missing_scalar_rejected_at_codegen(self):
+        prog, _ = _scalar_program()
+        with pytest.raises(ValueError, match="runtime scalars"):
+            prog.compile_to_source_code("s", target="cpu")
+
+    @needs_gcc
+    def test_compiled_matches_python(self, tmp_path, rng):
+        prog, _ = _scalar_program()
+        prog.set_scalar("c0", 0.5).set_scalar("c1", 0.25)
+        code = prog.compile_to_source_code("sc", target="cpu")
+        code.write_to(str(tmp_path))
+        subprocess.run(
+            ["gcc", "-O2", "-fopenmp", "-o", str(tmp_path / "sc"),
+             str(tmp_path / "sc.c"), "-lm"],
+            check=True, capture_output=True,
+        )
+        a0 = rng.random((12, 16))
+        a0.ravel().tofile(str(tmp_path / "i.bin"))
+        subprocess.run(
+            [str(tmp_path / "sc"), str(tmp_path / "i.bin"), "4",
+             str(tmp_path / "o.bin")],
+            check=True, capture_output=True,
+        )
+        got = np.fromfile(str(tmp_path / "o.bin")).reshape(12, 16)
+        prog.set_initial([a0])
+        ref = prog.run(4, scheduled=False)
+        np.testing.assert_array_equal(got, ref)

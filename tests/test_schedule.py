@@ -1,0 +1,203 @@
+"""Unit tests for the Schedule and its primitives (Sec. 4.3)."""
+
+import pytest
+
+from repro.machine.spec import MATRIX_SN, SUNWAY_CG
+from repro.schedule import (
+    LegalityError,
+    Schedule,
+    ScheduleError,
+    check_schedule,
+    spm_tile_bytes,
+)
+from tests.conftest import make_2d5pt, make_3d7pt
+
+
+@pytest.fixture
+def kern3d():
+    return make_3d7pt()[1]
+
+
+@pytest.fixture
+def tensor_and_kern():
+    return make_3d7pt()
+
+
+class TestTilePrimitive:
+    def test_paper_style_tile_all_axes(self, kern3d):
+        s = Schedule(kern3d)
+        s.tile(2, 8, 64, "xo", "xi", "yo", "yi", "zo", "zi")
+        assert s.tile_factors == {"k": 2, "j": 8, "i": 64}
+
+    def test_single_axis_tile(self, kern3d):
+        s = Schedule(kern3d)
+        s.tile("i", 16, "io", "ii")
+        assert s.tile_factors == {"i": 16}
+
+    def test_wrong_arity_rejected(self, kern3d):
+        with pytest.raises(ScheduleError, match="arguments"):
+            Schedule(kern3d).tile(2, 8, "xo", "xi")
+
+    def test_double_tile_rejected(self, kern3d):
+        s = Schedule(kern3d).tile("i", 4, "io", "ii")
+        with pytest.raises(ScheduleError, match="twice"):
+            s.tile("i", 8, "io2", "ii2")
+
+    def test_unknown_var_rejected(self, kern3d):
+        with pytest.raises(ScheduleError, match="unknown loop variable"):
+            Schedule(kern3d).tile("w", 4, "wo", "wi")
+
+    def test_name_collision_rejected(self, kern3d):
+        s = Schedule(kern3d).tile("i", 4, "io", "ii")
+        with pytest.raises(ScheduleError, match="already in use"):
+            s.tile("j", 4, "io", "jj")
+
+
+class TestReorderPrimitive:
+    def test_valid_permutation(self, kern3d):
+        s = Schedule(kern3d)
+        s.tile(2, 8, 64, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+        nest = s.lower((64, 64, 64))
+        assert nest.axis_names == ["xo", "yo", "zo", "xi", "yi", "zi"]
+
+    def test_non_permutation_rejected(self, kern3d):
+        s = Schedule(kern3d)
+        s.tile(2, 8, 64, "xo", "xi", "yo", "yi", "zo", "zi")
+        with pytest.raises(ScheduleError, match="permutation"):
+            s.reorder("xo", "yo", "zo", "xi", "yi")
+
+    def test_reorder_untiled_axes(self, kern3d):
+        s = Schedule(kern3d)
+        s.reorder("i", "j", "k")
+        nest = s.lower((8, 8, 8))
+        assert nest.axis_names == ["i", "j", "k"]
+
+
+class TestParallelPrimitive:
+    def test_parallel_records_threads(self, kern3d):
+        s = Schedule(kern3d)
+        s.tile(2, 8, 64, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.parallel("xo", 64)
+        assert s.nthreads == 64
+
+    def test_unknown_axis_rejected(self, kern3d):
+        with pytest.raises(ScheduleError, match="unknown axis"):
+            Schedule(kern3d).parallel("qq", 8)
+
+
+class TestCachePrimitives:
+    def test_cache_read_binding(self, tensor_and_kern):
+        tensor, kern = tensor_and_kern
+        s = Schedule(kern)
+        s.cache_read(tensor, "buf_r", "global")
+        s.cache_write("buf_w", "global")
+        bindings = {b.buffer: b for b in s.cache_bindings()}
+        assert bindings["buf_r"].kind == "read"
+        assert bindings["buf_r"].tensor == "B"
+        assert bindings["buf_w"].kind == "write"
+
+    def test_cache_read_unknown_tensor(self, tensor_and_kern):
+        _, kern = tensor_and_kern
+        with pytest.raises(ScheduleError, match="does not read"):
+            Schedule(kern).cache_read("Z", "buf", "global")
+
+    def test_bad_scope_rejected(self, tensor_and_kern):
+        tensor, kern = tensor_and_kern
+        with pytest.raises(ValueError, match="scope"):
+            Schedule(kern).cache_read(tensor, "buf", "spm")
+
+    def test_compute_at_requires_binding(self, tensor_and_kern):
+        _, kern = tensor_and_kern
+        s = Schedule(kern)
+        with pytest.raises(ScheduleError, match="unbound buffer"):
+            s.compute_at("buf", "k")
+
+    def test_compute_at_placement(self, tensor_and_kern):
+        tensor, kern = tensor_and_kern
+        s = Schedule(kern)
+        s.tile(2, 8, 8, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.cache_read(tensor, "buf_r")
+        s.compute_at("buf_r", "zo")
+        (binding,) = s.cache_bindings()
+        assert binding.compute_at == "zo"
+
+    def test_double_placement_rejected(self, tensor_and_kern):
+        tensor, kern = tensor_and_kern
+        s = Schedule(kern).cache_read(tensor, "buf_r")
+        s.compute_at("buf_r", "k")
+        with pytest.raises(ScheduleError, match="already placed"):
+            s.compute_at("buf_r", "j")
+
+
+class TestLowering:
+    def test_tile_factor_exceeding_extent_rejected(self, kern3d):
+        s = Schedule(kern3d).tile("i", 128, "io", "ii")
+        with pytest.raises(ScheduleError, match="exceeds extent"):
+            s.lower((8, 8, 8))
+
+    def test_rank_mismatch_rejected(self, kern3d):
+        with pytest.raises(ScheduleError):
+            Schedule(kern3d).lower((8, 8))
+
+    def test_untiled_lowering_single_tile(self, kern3d):
+        nest = Schedule(kern3d).lower((8, 8, 8))
+        tiles = list(nest.iter_tiles())
+        assert len(tiles) == 1
+        assert tiles[0].shape() == (8, 8, 8)
+
+
+class TestLegality:
+    def _sunway_schedule(self, tensor, kern, tile=(2, 8, 64)):
+        s = Schedule(kern)
+        s.tile(*tile, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+        s.cache_read(tensor, "br")
+        s.cache_write("bw")
+        s.compute_at("br", "zo")
+        s.compute_at("bw", "zo")
+        s.parallel("xo", 64)
+        return s
+
+    def test_valid_sunway_schedule(self):
+        tensor, kern = make_3d7pt(shape=(256, 256, 256))
+        s = self._sunway_schedule(tensor, kern)
+        check_schedule(s, s.lower((256, 256, 256)), SUNWAY_CG)
+
+    def test_spm_overflow_detected(self):
+        tensor, kern = make_3d7pt(shape=(256, 256, 256))
+        s = self._sunway_schedule(tensor, kern, tile=(16, 16, 256))
+        with pytest.raises(LegalityError, match="SPM"):
+            check_schedule(s, s.lower((256, 256, 256)), SUNWAY_CG)
+
+    def test_cacheless_requires_staging(self):
+        tensor, kern = make_3d7pt(shape=(64, 64, 64))
+        s = Schedule(kern)
+        s.tile(2, 8, 8, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.parallel("xo", 64)
+        with pytest.raises(LegalityError, match="cache_read"):
+            check_schedule(s, s.lower((64, 64, 64)), SUNWAY_CG)
+
+    def test_too_many_threads(self):
+        tensor, kern = make_3d7pt(shape=(64, 64, 64))
+        s = Schedule(kern)
+        s.tile(2, 8, 8, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.parallel("xo", 129)
+        with pytest.raises(LegalityError, match="exceeds"):
+            check_schedule(s, s.lower((64, 64, 64)), MATRIX_SN)
+
+    def test_parallel_inner_axis_flagged(self):
+        tensor, kern = make_3d7pt(shape=(64, 64, 64))
+        s = Schedule(kern)
+        s.tile(2, 8, 8, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.parallel("xi", 2)
+        with pytest.raises(LegalityError, match="inner"):
+            check_schedule(s, s.lower((64, 64, 64)), MATRIX_SN)
+
+    def test_spm_tile_bytes(self):
+        tensor, kern = make_3d7pt()
+        s = Schedule(kern)
+        s.cache_read(tensor, "br")
+        s.cache_write("bw")
+        need = spm_tile_bytes(kern, (2, 8, 64), s.cache_bindings())
+        assert need == (4 * 10 * 66 + 2 * 8 * 64) * 8

@@ -1,0 +1,150 @@
+"""Tests for the Sunway and cache-machine architectural simulators."""
+
+import pytest
+
+from repro.evalsuite.harness import build_with_schedule
+from repro.ir import f32, f64
+from repro.machine import (
+    CacheMachineSimulator,
+    SunwaySimulator,
+    simulate_cpu,
+    simulate_matrix,
+    simulate_sunway,
+)
+from repro.machine.spec import CPU_E5_2680V4, MATRIX_SN, SUNWAY_CG
+from repro.schedule import Schedule
+from tests.conftest import make_3d7pt
+from repro.ir import Stencil
+
+
+def _sunway_ready(shape=(256, 256, 256), dtype=f64):
+    tensor, kern = make_3d7pt(shape=shape, dtype=dtype)
+    t = Stencil.t
+    st = Stencil(tensor, 0.6 * kern[t - 1] + 0.4 * kern[t - 2])
+    s = Schedule(kern)
+    s.tile(2, 8, 64, "xo", "xi", "yo", "yi", "zo", "zi")
+    s.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+    s.cache_read(tensor, "br")
+    s.cache_write("bw")
+    s.compute_at("br", "zo")
+    s.compute_at("bw", "zo")
+    s.parallel("xo", 64)
+    return st, s
+
+
+class TestSunwaySimulator:
+    def test_paper_structural_claims_3d7pt(self):
+        # Sec. 5.2.1: 64 CPEs fully utilised, each computing 256 tiles
+        st, s = _sunway_ready()
+        r = simulate_sunway(st, s)
+        assert r.details["ntiles"] == 16384
+        assert r.details["tiles_per_cpe"] == 256
+        assert r.details["active_cpes"] == 64
+
+    def test_spm_utilisation_under_capacity(self):
+        st, s = _sunway_ready()
+        r = simulate_sunway(st, s)
+        assert 0.0 < r.details["spm_utilisation"] <= 1.0
+
+    def test_memory_bound(self):
+        # Fig. 9a: 3d7pt is memory-bound on Sunway
+        st, s = _sunway_ready()
+        r = simulate_sunway(st, s)
+        assert r.memory_s > r.compute_s
+
+    def test_fp32_roughly_halves_time(self):
+        st64, s64 = _sunway_ready(dtype=f64)
+        st32, s32 = _sunway_ready(dtype=f32)
+        t64 = simulate_sunway(st64, s64).step_s
+        t32 = simulate_sunway(st32, s32).step_s
+        assert t32 == pytest.approx(t64 / 2, rel=0.15)
+
+    def test_dma_stats_cover_all_tiles(self):
+        st, s = _sunway_ready()
+        r = simulate_sunway(st, s, timesteps=2)
+        # two sweeps per step (two applications), one get+put per visit
+        assert r.dma.n_gets == 16384 * 2 * 2
+        assert r.dma.n_puts == 16384 * 2 * 2
+
+    def test_illegal_schedule_rejected(self):
+        tensor, kern = make_3d7pt(shape=(64, 64, 64))
+        st = Stencil(tensor, kern[Stencil.t - 1])
+        s = Schedule(kern)  # no tiling, no SPM staging
+        with pytest.raises(Exception, match="cache_read"):
+            simulate_sunway(st, s)
+
+    def test_cache_machine_rejected(self):
+        with pytest.raises(ValueError, match="cache-less"):
+            SunwaySimulator(MATRIX_SN)
+
+    def test_gflops_positive_and_below_peak(self):
+        st, s = _sunway_ready()
+        r = simulate_sunway(st, s)
+        assert 0 < r.gflops < SUNWAY_CG.peak_gflops
+
+    def test_timesteps_scale_total(self):
+        st, s = _sunway_ready()
+        r1 = simulate_sunway(st, s, timesteps=1)
+        r10 = simulate_sunway(st, s, timesteps=10)
+        assert r10.total_s == pytest.approx(10 * r1.total_s)
+
+    def test_bad_timesteps(self):
+        st, s = _sunway_ready()
+        with pytest.raises(ValueError):
+            simulate_sunway(st, s, timesteps=0)
+
+
+class TestCacheMachineSimulator:
+    def _matrix_ready(self, dtype=f64):
+        tensor, kern = make_3d7pt(shape=(256, 256, 256), dtype=dtype)
+        st = Stencil(tensor, 0.6 * kern[Stencil.t - 1]
+                     + 0.4 * kern[Stencil.t - 2])
+        s = Schedule(kern)
+        s.tile(2, 8, 256, "xo", "xi", "yo", "yi", "zo", "zi")
+        s.reorder("xo", "yo", "zo", "xi", "yi", "zi")
+        s.parallel("xo", 32)
+        return st, s
+
+    def test_memory_bound_3d7pt(self):
+        st, s = self._matrix_ready()
+        r = simulate_matrix(st, s)
+        assert r.memory_s > r.compute_s
+
+    def test_cacheless_machine_rejected(self):
+        with pytest.raises(ValueError, match="cache-less"):
+            CacheMachineSimulator(SUNWAY_CG)
+
+    def test_cpu_faster_than_matrix_sn(self):
+        # E5 server has ~8x the SN's bandwidth
+        st, s = self._matrix_ready()
+        t_matrix = simulate_matrix(st, s).step_s
+        t_cpu = simulate_cpu(st, s).step_s
+        assert t_cpu < t_matrix
+
+    def test_tile_fitting_cache_reported(self):
+        st, s = self._matrix_ready()
+        r = simulate_matrix(st, s)
+        assert r.details["fits_in_cache"] == 1.0
+
+    def test_report_speedup_helper(self):
+        st, s = self._matrix_ready()
+        a = simulate_matrix(st, s)
+        b = simulate_cpu(st, s)
+        assert b.speedup_over(a) == pytest.approx(a.total_s / b.total_s)
+
+
+class TestHarnessSchedules:
+    @pytest.mark.parametrize("target", ["sunway", "matrix", "cpu"])
+    def test_table5_schedules_build(self, target):
+        prog, handle = build_with_schedule("3d13pt_star", target)
+        nest = handle.schedule.lower(prog.ir.output.shape)
+        assert nest.ntiles > 0
+
+    def test_sunway_schedules_legal_for_all_benchmarks(self):
+        from repro.frontend.stencils import BENCHMARK_NAMES
+        from repro.schedule import check_schedule
+
+        for name in BENCHMARK_NAMES:
+            prog, handle = build_with_schedule(name, "sunway")
+            nest = handle.schedule.lower(prog.ir.output.shape)
+            check_schedule(handle.schedule, nest, SUNWAY_CG)

@@ -1,0 +1,102 @@
+"""Tests for the graph-based interconnect topology model."""
+
+import networkx as nx
+import pytest
+
+from repro.frontend import build_benchmark
+from repro.ir.analysis import halo_traffic_bytes
+from repro.runtime.topology import (
+    ExchangeLoad,
+    Topology,
+    fat_tree,
+    route_exchange,
+    torus,
+)
+
+
+class TestFatTree:
+    def test_host_count(self):
+        topo = fat_tree(20, radix=8)
+        assert len(topo.hosts) == 20
+
+    def test_connected(self):
+        topo = fat_tree(33, radix=8)
+        assert nx.is_connected(topo.graph)
+
+    def test_switch_levels(self):
+        topo = fat_tree(16, radix=8)
+        assert topo.nswitches >= 3  # 2 leaves + >= 1 core
+
+    def test_oversubscription_reduces_core_links(self):
+        full = fat_tree(64, radix=8, up_ratio=1.0)
+        thin = fat_tree(64, radix=8, up_ratio=0.25)
+        assert thin.graph.number_of_edges() < full.graph.number_of_edges()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fat_tree(0)
+
+
+class TestTorus:
+    def test_degree_regular(self):
+        topo = torus((4, 4))
+        degrees = {d for _, d in topo.graph.degree()}
+        assert degrees == {4}  # 2 links per dimension
+
+    def test_3d(self):
+        topo = torus((2, 3, 4))
+        assert len(topo.hosts) == 24
+        assert nx.is_connected(topo.graph)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            torus((0, 4))
+
+
+class TestRouting:
+    @pytest.fixture(scope="class")
+    def stencil(self):
+        prog, _ = build_benchmark("3d7pt_star", grid=(64, 64, 64))
+        return prog.ir
+
+    def test_total_bytes_matches_analysis(self, stencil):
+        # periodic exchange total == nprocs × per-proc halo volume
+        topo = fat_tree(64)
+        load = route_exchange(stencil, (4, 4, 4), topo, periodic=True)
+        per_proc = halo_traffic_bytes(stencil, (16, 16, 16))
+        assert load.total_bytes == 64 * per_proc
+
+    def test_nonperiodic_routes_fewer_bytes(self, stencil):
+        topo = fat_tree(64)
+        per = route_exchange(stencil, (4, 4, 4), topo, periodic=True)
+        non = route_exchange(stencil, (4, 4, 4), topo, periodic=False)
+        assert non.total_bytes < per.total_bytes
+
+    def test_oversubscription_congests(self, stencil):
+        full = route_exchange(stencil, (4, 4, 4), fat_tree(64, up_ratio=1.0))
+        thin = route_exchange(stencil, (4, 4, 4),
+                              fat_tree(64, up_ratio=0.25))
+        assert thin.max_link_bytes > full.max_link_bytes
+        assert thin.congestion_time_s > full.congestion_time_s
+
+    def test_torus_spreads_neighbour_traffic(self, stencil):
+        # a 3-D stencil on a matching 3-D torus keeps traffic local:
+        # every loaded link carries the same face (hotspot factor 1)
+        load = route_exchange(stencil, (4, 4, 4), torus((4, 4, 4)))
+        assert load.hotspot_factor == pytest.approx(1.0)
+
+    def test_too_many_ranks_rejected(self, stencil):
+        with pytest.raises(ValueError, match="hosts"):
+            route_exchange(stencil, (8, 8, 8), fat_tree(64))
+
+    def test_ecmp_conserves_bytes(self, stencil):
+        # host links carry each message once; ECMP splitting must not
+        # create or destroy bytes at the hosts
+        topo = fat_tree(64, radix=8)
+        load = route_exchange(stencil, (4, 4, 4), topo)
+        host_ingress = 0.0
+        for (a, b), v in load.link_bytes.items():
+            if a.startswith("host") or b.startswith("host"):
+                host_ingress += v
+        # every message crosses exactly two host links (src + dst)
+        assert host_ingress == pytest.approx(2 * load.total_bytes)

@@ -1,0 +1,48 @@
+"""Tests for the Sec. 5.1 verification harness."""
+
+import numpy as np
+import pytest
+
+from repro.evalsuite import (
+    PathResult,
+    relative_error,
+    verify_benchmark,
+)
+from repro.ir import f32, f64
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        a = np.arange(8.0)
+        assert relative_error(a, a) == 0.0
+
+    def test_scale_invariant(self):
+        ref = np.full(4, 1e6)
+        got = ref * (1 + 1e-7)
+        assert relative_error(got, ref) == pytest.approx(1e-7, rel=1e-3)
+
+    def test_tiny_denominator_guarded(self):
+        assert np.isfinite(
+            relative_error(np.array([1e-300]), np.array([0.0]))
+        )
+
+
+class TestVerifyBenchmark:
+    @pytest.mark.parametrize("name", ["3d7pt_star", "2d121pt_box"])
+    def test_all_paths_within_tolerance(self, name):
+        for result in verify_benchmark(name, timesteps=2):
+            assert result.passed, (result.path, result.rel_error)
+
+    def test_fp32_paths(self):
+        results = verify_benchmark("2d9pt_star", dtype=f32, timesteps=2)
+        for result in results:
+            assert result.tolerance == 1e-5
+            assert result.passed
+
+    def test_path_result_skipped_counts_as_passed(self):
+        r = PathResult("x", float("nan"), 1e-10, ran=False, note="n/a")
+        assert r.passed
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            verify_benchmark("nope")
