@@ -13,6 +13,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..obs import counter, gauge, span
+
 __all__ = ["AnnealingResult", "simulated_annealing"]
 
 
@@ -82,33 +84,43 @@ def simulated_annealing(
     # temperature schedule is unitless
     scale = abs(initial_e) if initial_e else 1.0
 
-    for it in range(1, iterations + 1):
-        axis = rng.randrange(len(axes))
-        n = len(axes[axis])
-        if n > 1:
-            if rng.random() < 0.1:
-                new_idx = rng.randrange(n)
+    with span("autotune.anneal", iterations=iterations,
+              seed=seed) as sp:
+        for it in range(1, iterations + 1):
+            axis = rng.randrange(len(axes))
+            n = len(axes[axis])
+            if n > 1:
+                if rng.random() < 0.1:
+                    new_idx = rng.randrange(n)
+                else:
+                    new_idx = state[axis] + rng.choice((-1, 1))
+                    new_idx = min(n - 1, max(0, new_idx))
             else:
-                new_idx = state[axis] + rng.choice((-1, 1))
-                new_idx = min(n - 1, max(0, new_idx))
-        else:
-            new_idx = 0
-        if new_idx == state[axis]:
+                new_idx = 0
+            if new_idx == state[axis]:
+                temp *= alpha
+                continue
+            cand = tuple(
+                new_idx if d == axis else s for d, s in enumerate(state)
+            )
+            cand_e = value(cand)
+            delta = (cand_e - current_e) / scale
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temp, 1e-12)
+            ):
+                state, current_e = cand, cand_e
+                counter("autotune.accepted_moves")
+                if cand_e < best_e:
+                    best_state, best_e = cand, cand_e
+                    converged_at = it
+                    gauge("autotune.best_energy", best_e)
+            else:
+                counter("autotune.rejected_moves")
+            if it % history_stride == 0:
+                history.append((it, best_e))
             temp *= alpha
-            continue
-        cand = tuple(
-            new_idx if d == axis else s for d, s in enumerate(state)
-        )
-        cand_e = value(cand)
-        delta = (cand_e - current_e) / scale
-        if delta <= 0 or rng.random() < math.exp(-delta / max(temp, 1e-12)):
-            state, current_e = cand, cand_e
-            if cand_e < best_e:
-                best_state, best_e = cand, cand_e
-                converged_at = it
-        if it % history_stride == 0:
-            history.append((it, best_e))
-        temp *= alpha
+        sp.set(best_energy=best_e, initial_energy=initial_e,
+               converged_at=converged_at)
 
     if history[-1][0] != iterations:
         history.append((iterations, best_e))

@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 
 from ..ir.analysis import halo_traffic_bytes, stencil_flops_per_point
 from ..ir.stencil import Stencil
+from ..obs import gauge, observe, span
 from ..machine.spec import (
     MachineSpec,
     NetworkSpec,
@@ -179,36 +180,63 @@ class AutoTuner:
     def tune(self, iterations: int = 20000, seed: int = 0,
              n_samples: int = 60) -> TuningResult:
         """Full pipeline: sample → fit → anneal → re-measure."""
+        with span("autotune.tune", stencil=self.stencil.output.name,
+                  nprocs=self.nprocs, iterations=iterations,
+                  seed=seed) as sp:
+            result = self._tune(iterations, seed, n_samples)
+            sp.set(best_time_s=result.best_time,
+                   improvement=result.improvement,
+                   model_r2=result.model_r2)
+        return result
+
+    def _tune(self, iterations: int, seed: int,
+              n_samples: int) -> TuningResult:
         rng = random.Random(seed)
         axes = self.axes()
 
         samples: List[TuningConfig] = []
         times: List[float] = []
         attempts = 0
-        while len(samples) < n_samples and attempts < 50 * n_samples:
-            attempts += 1
-            values = [ax[rng.randrange(len(ax))] for ax in axes]
-            cfg = self._to_config(*values)
-            t = self.measure(cfg)
-            if t == float("inf"):
-                continue
-            samples.append(cfg)
-            times.append(t)
+        with span("autotune.sample_phase", n_samples=n_samples):
+            while len(samples) < n_samples and attempts < 50 * n_samples:
+                attempts += 1
+                values = [ax[rng.randrange(len(ax))] for ax in axes]
+                cfg = self._to_config(*values)
+                with span("autotune.sample", tile=str(cfg.tile),
+                          mpi_grid=str(cfg.mpi_grid)) as ssp:
+                    t = self.measure(cfg)
+                    ssp.set(measured_s=t, feasible=t != float("inf"))
+                if t == float("inf"):
+                    continue
+                samples.append(cfg)
+                times.append(t)
+                observe("autotune.sample_time_s", t)
         if len(samples) < len(PerformanceModel.FEATURE_NAMES):
             raise RuntimeError(
                 "could not sample enough feasible configurations; the "
                 "tuning space is over-constrained"
             )
-        model = PerformanceModel(self.global_shape, self.radius, self.elem)
-        model.fit(samples, times)
-        r2 = model.score(samples, times)
+        with span("autotune.fit", samples=len(samples)) as fsp:
+            model = PerformanceModel(
+                self.global_shape, self.radius, self.elem
+            )
+            model.fit(samples, times)
+            r2 = model.score(samples, times)
+            fsp.set(r2=r2)
+        gauge("autotune.model_r2", r2)
 
         def energy(*values) -> float:
             cfg = self._to_config(*values)
-            measured_guard = self.measure(cfg)
-            if measured_guard == float("inf"):
-                return 1e9  # infeasible (SPM overflow)
-            return model.predict(cfg)
+            with span("autotune.trial", tile=str(cfg.tile),
+                      mpi_grid=str(cfg.mpi_grid)) as tsp:
+                measured_guard = self.measure(cfg)
+                if measured_guard == float("inf"):
+                    tsp.set(feasible=False)
+                    return 1e9  # infeasible (SPM overflow)
+                predicted = model.predict(cfg)
+                tsp.set(predicted_s=predicted,
+                        measured_s=measured_guard)
+            return predicted
 
         # start the search from the best measured sample (keeps the
         # convergence trajectory finite and monotone from step 0)
@@ -223,11 +251,13 @@ class AutoTuner:
             axes, energy, iterations=iterations, seed=seed,
             initial_state=tuple(start),
         )
-        best_cfg = self._to_config(
-            *(ax[idx] for ax, idx in zip(axes, result.best_state))
-        )
-        best_time = self.measure(best_cfg)
+        with span("autotune.remeasure"):
+            best_cfg = self._to_config(
+                *(ax[idx] for ax, idx in zip(axes, result.best_state))
+            )
+            best_time = self.measure(best_cfg)
         initial_time = sum(times) / len(times)
+        gauge("autotune.best_time_s", best_time)
         return TuningResult(
             best=best_cfg,
             best_time=best_time,

@@ -549,13 +549,19 @@ class CCodeGenerator:
 
     def generate(self, name: str) -> GeneratedCode:
         """Produce the complete single-file C program."""
-        parts = [self.header(), self.halo_fill()]
-        seen = set()
-        for _, app in self.stencil.combination_terms():
-            if app.kernel.name not in seen:
-                seen.add(app.kernel.name)
-                parts.append(self.sweep_function(app))
-        parts.append(self.main_function())
-        code = GeneratedCode(name=name, target="c")
-        code.files[f"{name}.c"] = "\n\n".join(parts) + "\n"
+        from ..obs import span
+
+        with span("codegen.c", bundle=name):
+            with span("codegen.c.header"):
+                parts = [self.header(), self.halo_fill()]
+            seen = set()
+            for _, app in self.stencil.combination_terms():
+                if app.kernel.name not in seen:
+                    seen.add(app.kernel.name)
+                    with span("codegen.c.sweep", kernel=app.kernel.name):
+                        parts.append(self.sweep_function(app))
+            with span("codegen.c.main"):
+                parts.append(self.main_function())
+            code = GeneratedCode(name=name, target="c")
+            code.files[f"{name}.c"] = "\n\n".join(parts) + "\n"
         return code

@@ -541,13 +541,15 @@ class MPICodeGenerator:
         return "\n".join(lines) + "\n"
 
     def generate(self, name: str) -> GeneratedCode:
-        code = GeneratedCode(name=name, target="mpi")
+        from ..obs import span
         from .mpi_stub import MPI_STUB_HEADER
 
+        code = GeneratedCode(name=name, target="mpi")
         code.files["msc_comm.h"] = COMM_HEADER
         code.files["msc_comm.c"] = COMM_SOURCE
         code.files["msc_mpi_stub.h"] = MPI_STUB_HEADER
-        code.files[f"{name}_mpi.c"] = self.program_source(name)
+        with span("codegen.mpi", bundle=name):
+            code.files[f"{name}_mpi.c"] = self.program_source(name)
         code.files["Makefile"] = (
             "# generated by MSC (distributed build)\n"
             "CC = mpicc\n"

@@ -586,15 +586,21 @@ class SunwayCodeGenerator(CCodeGenerator):
         return f"{self._name}.h"
 
     def generate(self, name: str) -> GeneratedCode:
+        from ..obs import span
         from .athread_stub import ATHREAD_STUB_HEADER
 
         self._name = name
-        code = GeneratedCode(name=name, target="sunway")
-        code.files[f"{name}_master.c"] = self.master_source()
-        code.files[f"{name}_slave.c"] = self.slave_source()
-        code.files[f"{name}_common.c"] = self.common_source()
-        code.files[f"{name}.h"] = self.shared_header()
-        code.files["msc_athread_stub.h"] = ATHREAD_STUB_HEADER
+        with span("codegen.sunway", bundle=name):
+            code = GeneratedCode(name=name, target="sunway")
+            with span("codegen.sunway.master"):
+                code.files[f"{name}_master.c"] = self.master_source()
+            with span("codegen.sunway.slave"):
+                code.files[f"{name}_slave.c"] = self.slave_source()
+            with span("codegen.sunway.common"):
+                code.files[f"{name}_common.c"] = self.common_source()
+            with span("codegen.sunway.header"):
+                code.files[f"{name}.h"] = self.shared_header()
+            code.files["msc_athread_stub.h"] = ATHREAD_STUB_HEADER
         return code
 
 

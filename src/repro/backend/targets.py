@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Mapping, Optional
 
 from ..ir.stencil import Stencil
+from ..obs import span
 from ..schedule.schedule import Schedule
 from .c_codegen import CCodeGenerator, GeneratedCode
 from .makefile import generate_makefile
@@ -36,24 +37,32 @@ def generate(stencil: Stencil, schedules: Mapping[str, Schedule],
         raise ValueError(
             f"unknown target {target!r}; known: {KNOWN_TARGETS}"
         )
-    if target == "mpi":
-        from .mpi_codegen import generate_mpi
+    with span("codegen.generate", target=target, bundle=name,
+              stencil=stencil.output.name) as sp:
+        if target == "mpi":
+            from .mpi_codegen import generate_mpi
 
-        if mpi_grid is None:
-            raise ValueError(
-                "target 'mpi' needs an mpi_grid (set one on the program "
-                "or pass mpi_grid=...)"
+            if mpi_grid is None:
+                raise ValueError(
+                    "target 'mpi' needs an mpi_grid (set one on the "
+                    "program or pass mpi_grid=...)"
+                )
+            code = generate_mpi(stencil, schedules, name, mpi_grid,
+                                boundary)
+        elif target == "sunway":
+            gen = SunwayCodeGenerator(stencil, schedules, boundary)
+            code = gen.generate(name)
+        else:
+            gen = CCodeGenerator(
+                stencil, schedules, boundary, use_openmp=True,
+                nthreads=nthreads, scalars=scalars,
             )
-        return generate_mpi(stencil, schedules, name, mpi_grid, boundary)
-    if target == "sunway":
-        gen = SunwayCodeGenerator(stencil, schedules, boundary)
-        code = gen.generate(name)
-    else:
-        gen = CCodeGenerator(
-            stencil, schedules, boundary, use_openmp=True,
-            nthreads=nthreads, scalars=scalars,
-        )
-        code = gen.generate(name)
-        code.target = target
-    code.files["Makefile"] = generate_makefile(name, target, use_mpi)
+            code = gen.generate(name)
+            code.target = target
+        if "Makefile" not in code.files:
+            code.files["Makefile"] = generate_makefile(
+                name, target, use_mpi
+            )
+        sp.set(files=len(code.files),
+               bytes=sum(len(v) for v in code.files.values()))
     return code

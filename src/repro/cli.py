@@ -10,7 +10,14 @@ Commands
   a Table-4 benchmark under its Table-5 schedule;
 - ``tune BENCH --nprocs N`` — run the auto-tuner;
 - ``report EXPERIMENT`` — regenerate one table/figure of the paper;
-- ``list`` — list the Table-4 benchmarks and report names.
+- ``trace FILE`` — summarize a saved execution trace;
+- ``list`` — list the Table-4 benchmarks, report names, trace
+  exporters and instrumented subsystems.
+
+``run``, ``simulate``, ``tune``, ``verify`` and ``compile`` accept
+``--trace FILE [--trace-format {json,chrome,summary}]`` to record an
+execution trace through the :mod:`repro.obs` layer; ``chrome`` files
+load in ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -29,6 +36,14 @@ _REPORTS = (
 )
 
 
+def _add_trace_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record an execution trace to FILE")
+    p.add_argument("--trace-format", default="json",
+                   choices=["json", "chrome", "summary"],
+                   help="trace file format (default: json)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -43,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=".",
                    help="directory for the generated bundle")
     p.add_argument("--name", default=None, help="bundle name stem")
+    _add_trace_flags(p)
 
     p = sub.add_parser("run", help="execute a .msc program")
     p.add_argument("file")
@@ -54,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scalar", action="append", default=[],
                    metavar="NAME=VALUE",
                    help="bind a runtime scalar coefficient (repeatable)")
+    _add_trace_flags(p)
 
     p = sub.add_parser("simulate", help="timing report for a benchmark")
     p.add_argument("benchmark")
@@ -62,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--precision", default="fp64",
                    choices=["fp64", "fp32"])
     p.add_argument("--timesteps", type=int, default=1)
+    p.add_argument("--skip-pipeline", action="store_true",
+                   help="timing report only: skip the codegen and "
+                        "distributed-exchange pipeline stages")
+    _add_trace_flags(p)
 
     p = sub.add_parser("tune", help="auto-tune a benchmark")
     p.add_argument("benchmark")
@@ -70,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated global shape")
     p.add_argument("--iterations", type=int, default=20000)
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_flags(p)
 
     p = sub.add_parser("verify", help="Sec. 5.1 correctness check")
     p.add_argument("benchmark")
@@ -77,11 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["fp64", "fp32"])
     p.add_argument("--timesteps", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    _add_trace_flags(p)
 
     p = sub.add_parser("report", help="regenerate a paper artefact")
     p.add_argument("experiment", choices=list(_REPORTS))
 
-    sub.add_parser("list", help="list benchmarks and reports")
+    p = sub.add_parser("trace", help="summarize a saved trace file")
+    p.add_argument("file", help="trace file (repro json or chrome "
+                                "trace_event format)")
+
+    sub.add_parser("list", help="list benchmarks, reports and "
+                                "trace exporters")
     return parser
 
 
@@ -179,6 +207,8 @@ def _cmd_simulate(args) -> int:
     dtype = f32 if args.precision == "fp32" else f64
     target = args.machine if args.machine != "cpu" else "cpu"
     prog, handle = build_with_schedule(args.benchmark, target, dtype)
+    if not args.skip_pipeline:
+        _simulate_codegen_stage(args.benchmark, prog, target)
     report = prog.simulate(args.machine, timesteps=args.timesteps)
     print(f"{args.benchmark} on {report.machine} ({report.precision}):")
     print(f"  per-step: {report.step_s * 1e3:.3f} ms "
@@ -187,7 +217,55 @@ def _cmd_simulate(args) -> int:
     print(f"  achieved: {report.gflops:.1f} GFlops")
     for key, val in sorted(report.details.items()):
         print(f"  {key}: {val:.4g}")
+    if not args.skip_pipeline:
+        _simulate_exchange_stage(args.benchmark, dtype)
     return 0
+
+
+def _simulate_codegen_stage(benchmark: str, prog, target: str) -> None:
+    """AOT-generate the target bundle (the paper's full DSL→code flow)."""
+    try:
+        code = prog.compile_to_source_code(benchmark, target=target)
+    except Exception as exc:  # noqa: BLE001 - report, don't abort timing
+        print(f"codegen [{target}]: skipped ({exc})")
+        return
+    nbytes = sum(len(text) for text in code.files.values())
+    print(f"codegen [{target}]: {len(code.files)} files, {nbytes} bytes")
+
+
+def _simulate_exchange_stage(benchmark: str, dtype) -> None:
+    """Scaled-down distributed run: exercises the communication library
+    and the distributed runtime (and records them under ``--trace``)."""
+    from .frontend.stencils import benchmark_by_name
+    from .obs import registry
+    from .runtime.executor import distributed_run
+
+    bench = benchmark_by_name(benchmark)
+    grid = (2, 2) if bench.ndim == 2 else (2, 1, 2)
+    base = (24, 20) if bench.ndim == 2 else (12, 12, 12)
+    shape = tuple(max(s, 4 * bench.radius) for s in base)
+    steps = 2
+    try:
+        demo, _ = bench.build(grid=shape, dtype=dtype,
+                              boundary="periodic")
+        need = demo.ir.required_time_window - 1
+        rng = np.random.default_rng(0)
+        init = [
+            rng.random(shape).astype(dtype.np_dtype) for _ in range(need)
+        ]
+        result = distributed_run(
+            demo.ir, init, steps, grid, boundary="periodic"
+        )
+    except Exception as exc:  # noqa: BLE001 - report, don't abort timing
+        print(f"distributed exchange: skipped ({exc})")
+        return
+    print(f"distributed exchange: {steps} steps on {shape} over MPI "
+          f"grid {grid}, l2={np.linalg.norm(result):.6e}")
+    reg = registry()
+    if reg.enabled:
+        msgs = reg.counter_total("comm.messages")
+        byts = reg.counter_total("comm.bytes_sent")
+        print(f"  halo traffic: {msgs:g} messages, {byts:g} bytes")
 
 
 def _cmd_tune(args) -> int:
@@ -297,14 +375,26 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs.export import summarize_trace_file
+
+    print(summarize_trace_file(args.file))
+    return 0
+
+
 def _cmd_list(_args) -> int:
     from .frontend.stencils import ALL_BENCHMARKS
+    from .obs import INSTRUMENTED_SUBSYSTEMS
+    from .obs.export import EXPORT_FORMATS
 
     print("Table-4 benchmarks:")
     for bench in ALL_BENCHMARKS:
         print(f"  {bench.name:14s} {bench.ndim}D {bench.shape:4s} "
               f"radius {bench.radius}, {bench.points} points")
     print("reports:", ", ".join(_REPORTS))
+    print("trace exporters:", ", ".join(EXPORT_FORMATS))
+    print("instrumented subsystems:",
+          ", ".join(INSTRUMENTED_SUBSYSTEMS))
     return 0
 
 
@@ -315,20 +405,47 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "verify": _cmd_verify,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "list": _cmd_list,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_file = getattr(args, "trace", None)
+    if trace_file:
+        from . import obs
+
+        obs.reset()
+        obs.enable()
     try:
-        return _COMMANDS[args.command](args)
+        from .obs import span
+
+        with span(f"cli.{args.command}"):
+            rc = _COMMANDS[args.command](args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        rc = 1
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        rc = 1
+    finally:
+        if trace_file:
+            from . import obs
+
+            obs.disable()
+    if trace_file:
+        from .obs import tracer
+        from .obs.export import write_trace
+
+        try:
+            write_trace(trace_file, args.trace_format)
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"trace written to {trace_file} "
+              f"({args.trace_format}, {len(tracer().records)} spans)")
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import counter, span
 from ..runtime.simmpi import CartComm, Request
 from .halo import HaloSpec, Region, halo_regions
 from .packing import BufferPool, pack, unpack
@@ -52,6 +53,19 @@ class HaloExchanger:
         self.messages = 0
         self.bytes_sent = 0
 
+    def reset_counters(self) -> None:
+        """Zero the per-exchanger traffic counters (between runs)."""
+        self.messages = 0
+        self.bytes_sent = 0
+
+    def _count_message(self, nbytes: int, dim: int) -> None:
+        """One sent message: instance counters + the metrics registry."""
+        self.messages += 1
+        self.bytes_sent += nbytes
+        rank = self.comm.rank
+        counter("comm.messages", rank=rank)
+        counter("comm.bytes_sent", nbytes, rank=rank, dim=dim)
+
     def _neighbour(self, region: Region) -> int:
         src, dst = self.comm.Shift(region.dim, 1)
         return dst if region.direction == +1 else src
@@ -75,46 +89,54 @@ class AsyncHaloExchanger(HaloExchanger):
                 f"{self.spec.padded_shape}"
             )
         ndim = len(self.spec.sub_shape)
-        for d in range(ndim):
-            phase = [r for r in self.regions if r.dim == d]
-            if not phase:
-                continue
-            recvs: List[Optional[Request]] = []
-            recv_bufs = []
-            for region in phase:
-                peer = self._neighbour(region)
-                if peer < 0:
-                    recvs.append(None)
-                    recv_bufs.append(None)
+        with span("comm.exchange", rank=self.comm.rank, strategy="async"):
+            for d in range(ndim):
+                phase = [r for r in self.regions if r.dim == d]
+                if not phase:
                     continue
-                n = region.count(self.spec.padded_shape)
-                buf = self.pool.get(n, plane.dtype,
-                                    tag=f"recv-{d}-{region.direction}")
-                recv_bufs.append(buf)
-                recvs.append(
-                    self.comm.Irecv(buf, source=peer, tag=self._tag(region))
-                )
-            for region in phase:
-                peer = self._neighbour(region)
-                if peer < 0:
-                    continue
-                n = region.count(self.spec.padded_shape)
-                sbuf = self.pool.get(n, plane.dtype,
-                                     tag=f"send-{d}-{region.direction}")
-                pack(plane, region.send, sbuf)
-                # the message a peer receives on its (dim, dir) face was
-                # sent from our opposite-direction strip
-                send_tag = (
-                    _TAG_BASE + 2 * d + (0 if region.direction < 0 else 1)
-                )
-                self.comm.Isend(sbuf, dest=peer, tag=send_tag).Wait()
-                self.messages += 1
-                self.bytes_sent += sbuf.nbytes
-            for region, req, buf in zip(phase, recvs, recv_bufs):
-                if req is None:
-                    continue
-                req.Wait()
-                unpack(buf, plane, region.recv)
+                recvs: List[Optional[Request]] = []
+                recv_bufs = []
+                for region in phase:
+                    peer = self._neighbour(region)
+                    if peer < 0:
+                        recvs.append(None)
+                        recv_bufs.append(None)
+                        continue
+                    n = region.count(self.spec.padded_shape)
+                    buf = self.pool.get(n, plane.dtype,
+                                        tag=f"recv-{d}-{region.direction}")
+                    recv_bufs.append(buf)
+                    recvs.append(
+                        self.comm.Irecv(buf, source=peer,
+                                        tag=self._tag(region))
+                    )
+                for region in phase:
+                    peer = self._neighbour(region)
+                    if peer < 0:
+                        continue
+                    n = region.count(self.spec.padded_shape)
+                    sbuf = self.pool.get(n, plane.dtype,
+                                         tag=f"send-{d}-{region.direction}")
+                    with span("comm.pack", dim=d, dir=region.direction):
+                        pack(plane, region.send, sbuf)
+                    # the message a peer receives on its (dim, dir) face
+                    # was sent from our opposite-direction strip
+                    send_tag = (
+                        _TAG_BASE + 2 * d
+                        + (0 if region.direction < 0 else 1)
+                    )
+                    with span("comm.send", dim=d, dir=region.direction,
+                              bytes=sbuf.nbytes):
+                        self.comm.Isend(sbuf, dest=peer,
+                                        tag=send_tag).Wait()
+                    self._count_message(sbuf.nbytes, d)
+                for region, req, buf in zip(phase, recvs, recv_bufs):
+                    if req is None:
+                        continue
+                    with span("comm.wait", dim=d, dir=region.direction):
+                        req.Wait()
+                    with span("comm.unpack", dim=d, dir=region.direction):
+                        unpack(buf, plane, region.recv)
 
 
 class MasterCoordinatedExchanger(HaloExchanger):
@@ -136,54 +158,63 @@ class MasterCoordinatedExchanger(HaloExchanger):
             )
         comm = self.comm
         ndim = len(self.spec.sub_shape)
-        for d in range(ndim):
-            phase = [r for r in self.regions if r.dim == d]
-            if not phase:
-                continue
-            # 1) everyone ships strips to the master with routing info
-            sends = []
-            for region in phase:
-                peer = self._neighbour(region)
-                if peer < 0:
+        with span("comm.exchange", rank=comm.rank, strategy="master"):
+            for d in range(ndim):
+                phase = [r for r in self.regions if r.dim == d]
+                if not phase:
                     continue
-                n = region.count(self.spec.padded_shape)
-                sbuf = self.pool.get(
-                    n + 2, plane.dtype, tag=f"m-send-{d}-{region.direction}"
-                )
-                sbuf[0] = float(peer)
-                sbuf[1] = float(self._tag_for_peer(region))
-                pack(plane, region.send, sbuf[2:])
-                sends.append((sbuf, region))
-            counts = comm.gather(len(sends), root=self.MASTER)
-            # strip sizes differ across ranks (balanced decomposition);
-            # the master's relay scratch must fit the largest
-            max_strip = comm.allreduce(self._max_strip(phase), "max")
-            for sbuf, region in sends:
-                comm.Send(sbuf, dest=self.MASTER,
-                          tag=_TAG_BASE - 1)
-                self.messages += 1
-                self.bytes_sent += sbuf.nbytes
-            # 2) master relays every message, one at a time
-            if comm.rank == self.MASTER:
-                total = sum(counts)
-                scratch = self.pool.get(max_strip + 2, plane.dtype,
-                                        tag="relay")
-                for _ in range(total):
-                    _, _, count = comm.Recv(scratch, tag=_TAG_BASE - 1)
-                    dest = int(scratch[0])
-                    fwd_tag = int(scratch[1])
-                    comm.Send(scratch[2:count], dest=dest, tag=fwd_tag)
-            # 3) everyone receives its ghost strips from the master
-            for region in phase:
-                peer = self._neighbour(region)
-                if peer < 0:
-                    continue
-                n = region.count(self.spec.padded_shape)
-                rbuf = self.pool.get(
-                    n, plane.dtype, tag=f"m-recv-{d}-{region.direction}"
-                )
-                comm.Recv(rbuf, source=self.MASTER, tag=self._tag(region))
-                unpack(rbuf, plane, region.recv)
+                # 1) everyone ships strips to the master with routing info
+                sends = []
+                for region in phase:
+                    peer = self._neighbour(region)
+                    if peer < 0:
+                        continue
+                    n = region.count(self.spec.padded_shape)
+                    sbuf = self.pool.get(
+                        n + 2, plane.dtype,
+                        tag=f"m-send-{d}-{region.direction}"
+                    )
+                    sbuf[0] = float(peer)
+                    sbuf[1] = float(self._tag_for_peer(region))
+                    with span("comm.pack", dim=d, dir=region.direction):
+                        pack(plane, region.send, sbuf[2:])
+                    sends.append((sbuf, region))
+                counts = comm.gather(len(sends), root=self.MASTER)
+                # strip sizes differ across ranks (balanced decomposition);
+                # the master's relay scratch must fit the largest
+                max_strip = comm.allreduce(self._max_strip(phase), "max")
+                for sbuf, region in sends:
+                    with span("comm.send", dim=d, bytes=sbuf.nbytes):
+                        comm.Send(sbuf, dest=self.MASTER,
+                                  tag=_TAG_BASE - 1)
+                    self._count_message(sbuf.nbytes, d)
+                # 2) master relays every message, one at a time
+                if comm.rank == self.MASTER:
+                    total = sum(counts)
+                    scratch = self.pool.get(max_strip + 2, plane.dtype,
+                                            tag="relay")
+                    with span("comm.relay", dim=d, total=total):
+                        for _ in range(total):
+                            _, _, count = comm.Recv(scratch,
+                                                    tag=_TAG_BASE - 1)
+                            dest = int(scratch[0])
+                            fwd_tag = int(scratch[1])
+                            comm.Send(scratch[2:count], dest=dest,
+                                      tag=fwd_tag)
+                # 3) everyone receives its ghost strips from the master
+                for region in phase:
+                    peer = self._neighbour(region)
+                    if peer < 0:
+                        continue
+                    n = region.count(self.spec.padded_shape)
+                    rbuf = self.pool.get(
+                        n, plane.dtype, tag=f"m-recv-{d}-{region.direction}"
+                    )
+                    with span("comm.wait", dim=d, dir=region.direction):
+                        comm.Recv(rbuf, source=self.MASTER,
+                                  tag=self._tag(region))
+                    with span("comm.unpack", dim=d, dir=region.direction):
+                        unpack(rbuf, plane, region.recv)
 
     def _tag_for_peer(self, region: Region) -> int:
         # the tag under which the *peer* expects this strip

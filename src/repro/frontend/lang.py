@@ -554,6 +554,20 @@ class _Parser:
 
 def parse_program(source: str) -> ParsedProgram:
     """Parse MSC source text into a ready program or pipeline."""
+    from ..obs import span
+
+    with span("frontend.parse", chars=len(source)) as sp:
+        parsed = _parse_program(source)
+        sp.set(
+            stencil=parsed.stencil_name,
+            kernels=len(parsed.kernels),
+            tensors=len(parsed.tensors),
+            pipeline=parsed.pipeline is not None,
+        )
+    return parsed
+
+
+def _parse_program(source: str) -> ParsedProgram:
     parser = _Parser(tokenize(source))
     parser.parse()
     if not parser.stencils:

@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..ir.stencil import Stencil
 from ..ir.analysis import stencil_flops_per_point
+from ..obs import gauge, observe, span
 from ..schedule.schedule import Schedule
 from .cache import CacheModel
 from .report import TimingReport
@@ -42,7 +43,16 @@ class CacheMachineSimulator:
             raise ValueError("timesteps must be >= 1")
         m = self.machine
         out = stencil.output
-        nest = schedule.lower(out.shape)
+        with span("machine.cache_sim", stencil=out.name,
+                  machine=m.name, timesteps=timesteps):
+            return self._run(stencil, schedule, timesteps)
+
+    def _run(self, stencil: Stencil, schedule: Schedule,
+             timesteps: int) -> TimingReport:
+        m = self.machine
+        out = stencil.output
+        with span("machine.lower_schedule"):
+            nest = schedule.lower(out.shape)
 
         elem = out.dtype.nbytes
         precision = "fp32" if elem == 4 else "fp64"
@@ -51,8 +61,11 @@ class CacheMachineSimulator:
         npoints = max(a.kernel.npoints for a in stencil.applications)
         tile_shape = nest.tile_shape()
 
-        cache = CacheModel(m.cache_bytes)
-        traffic = cache.estimate(tile_shape, rad, elem, npoints, planes_read)
+        with span("machine.cache_model"):
+            cache = CacheModel(m.cache_bytes)
+            traffic = cache.estimate(
+                tile_shape, rad, elem, npoints, planes_read
+            )
 
         n = nest.npoints()
         nthreads = min(nest.nthreads, m.cores_per_node)
@@ -79,6 +92,10 @@ class CacheMachineSimulator:
         else:
             mem_s = memory_step * serial_fraction
             comp_s = compute_step
+
+        gauge("machine.traffic_bytes_per_point", traffic.total_per_point,
+              machine=m.name)
+        observe("machine.step_s", mem_s + comp_s, machine=m.name)
 
         return TimingReport(
             machine=m.name,

@@ -40,10 +40,22 @@ class TimingReport:
 
     @property
     def gflops(self) -> float:
-        """Achieved arithmetic rate over the whole run."""
+        """Achieved arithmetic rate over the whole run.
+
+        An *empty* run (zero flops or zero timesteps) did no arithmetic
+        and rates at 0.0; a run that claims work but took no time is a
+        malformed report and raises :class:`ValueError`.
+        """
+        total_flops = self.flops_per_step * self.timesteps
         if self.total_s <= 0:
-            raise ZeroDivisionError("report has zero elapsed time")
-        return self.flops_per_step * self.timesteps / self.total_s / 1e9
+            if total_flops == 0:
+                return 0.0
+            raise ValueError(
+                f"malformed report for {self.stencil!r} on "
+                f"{self.machine!r}: {total_flops:g} flops recorded but "
+                "zero elapsed time"
+            )
+        return total_flops / self.total_s / 1e9
 
     def speedup_over(self, baseline: "TimingReport") -> float:
         """Baseline time / this time (>1 means we are faster)."""

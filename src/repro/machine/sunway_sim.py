@@ -23,6 +23,7 @@ import math
 
 from ..ir.stencil import Stencil
 from ..ir.analysis import stencil_flops_per_point
+from ..obs import counter, gauge, observe, span
 from ..schedule.legality import check_schedule
 from ..schedule.schedule import Schedule
 from .dma import DMAEngine, DMAStats
@@ -64,8 +65,18 @@ class SunwaySimulator:
             raise ValueError("timesteps must be >= 1")
         m = self.machine
         out = stencil.output
-        nest = schedule.lower(out.shape)
-        check_schedule(schedule, nest, m)
+        with span("machine.sunway_sim", stencil=out.name,
+                  machine=m.name, timesteps=timesteps):
+            report = self._run(stencil, schedule, timesteps, on_chip_halo)
+        return report
+
+    def _run(self, stencil: Stencil, schedule: Schedule,
+             timesteps: int, on_chip_halo: bool) -> TimingReport:
+        m = self.machine
+        out = stencil.output
+        with span("machine.lower_schedule"):
+            nest = schedule.lower(out.shape)
+            check_schedule(schedule, nest, m)
 
         elem = out.dtype.nbytes
         precision = "fp32" if elem == 4 else "fp64"
@@ -82,20 +93,21 @@ class SunwaySimulator:
              for app in stencil.applications
              for a in app.kernel.accesses}
         )
-        spm = SPMAllocator(m.spm_bytes)
-        bindings = schedule.cache_bindings()
-        for b in bindings:
-            if b.kind == "read":
-                n = 1
-                for s, r in zip(tile_shape, rad):
-                    n *= s + 2 * r
-                spm.alloc(b.buffer, n * elem * kernel_planes)
-            else:
-                n = 1
-                for s in tile_shape:
-                    n *= s
-                spm.alloc(b.buffer, n * elem)
-        spm_util = spm.utilisation
+        with span("machine.spm_alloc"):
+            spm = SPMAllocator(m.spm_bytes)
+            bindings = schedule.cache_bindings()
+            for b in bindings:
+                if b.kind == "read":
+                    n = 1
+                    for s, r in zip(tile_shape, rad):
+                        n *= s + 2 * r
+                    spm.alloc(b.buffer, n * elem * kernel_planes)
+                else:
+                    n = 1
+                    for s in tile_shape:
+                        n *= s
+                    spm.alloc(b.buffer, n * elem)
+            spm_util = spm.utilisation
 
         # --- tile distribution over CPEs ------------------------------------
         ncpe = min(nest.nthreads, m.cores_per_node)
@@ -111,33 +123,35 @@ class SunwaySimulator:
             tile_pts *= s
             padded_pts *= s + 2 * r
 
-        dma_visit_s = 0.0
-        if on_chip_halo:
-            rim_bytes = (padded_pts - tile_pts) * elem
-            for _ in range(kernel_planes):
-                dma_visit_s += engine.get(tile_pts * elem)
-            # the rim arrives from neighbouring CPEs' SPM via register
-            # communication — far faster than a memory round trip
-            register_bw = engine.bw * self.REGISTER_COMM_SPEEDUP
-            dma_visit_s += kernel_planes * rim_bytes / register_bw
-        else:
-            for _ in range(kernel_planes):
-                dma_visit_s += engine.get(padded_pts * elem)
-        dma_visit_s += engine.put(tile_pts * elem)
+        with span("machine.dma_model", on_chip_halo=on_chip_halo):
+            dma_visit_s = 0.0
+            if on_chip_halo:
+                rim_bytes = (padded_pts - tile_pts) * elem
+                for _ in range(kernel_planes):
+                    dma_visit_s += engine.get(tile_pts * elem)
+                # the rim arrives from neighbouring CPEs' SPM via register
+                # communication — far faster than a memory round trip
+                register_bw = engine.bw * self.REGISTER_COMM_SPEEDUP
+                dma_visit_s += kernel_planes * rim_bytes / register_bw
+            else:
+                for _ in range(kernel_planes):
+                    dma_visit_s += engine.get(padded_pts * elem)
+            dma_visit_s += engine.put(tile_pts * elem)
 
-        flops_pp = stencil_flops_per_point(stencil)
-        # explicit vectorization lifts the inner loop off the scalar
-        # pipeline (256-bit CPE vectors; imperfect due to shuffles)
-        flop_eff = m.scalar_flop_efficiency
-        if nest.vectorized_axis is not None:
-            flop_eff = min(0.9, m.scalar_flop_efficiency * 2.4)
-        cpe_gflops = (
-            m.core_gflops() * flop_eff
-            * (2.0 if precision == "fp32" else 1.0)
-        )
-        compute_visit_s = (
-            tile_pts * flops_pp / n_sweeps / (cpe_gflops * 1e9)
-        )
+        with span("machine.compute_model"):
+            flops_pp = stencil_flops_per_point(stencil)
+            # explicit vectorization lifts the inner loop off the scalar
+            # pipeline (256-bit CPE vectors; imperfect due to shuffles)
+            flop_eff = m.scalar_flop_efficiency
+            if nest.vectorized_axis is not None:
+                flop_eff = min(0.9, m.scalar_flop_efficiency * 2.4)
+            cpe_gflops = (
+                m.core_gflops() * flop_eff
+                * (2.0 if precision == "fp32" else 1.0)
+            )
+            compute_visit_s = (
+                tile_pts * flops_pp / n_sweeps / (cpe_gflops * 1e9)
+            )
 
         memory_step = dma_visit_s * tiles_worst_cpe * n_sweeps
         compute_step = compute_visit_s * tiles_worst_cpe * n_sweeps
@@ -160,6 +174,16 @@ class SunwaySimulator:
             max(a.kernel.npoints for a in stencil.applications)
             * tile_pts / (padded_pts * kernel_planes)
         )
+
+        counter("machine.dma.gets", per_run.n_gets, machine=m.name)
+        counter("machine.dma.puts", per_run.n_puts, machine=m.name)
+        counter("machine.dma.bytes_get", per_run.bytes_get, machine=m.name)
+        counter("machine.dma.bytes_put", per_run.bytes_put, machine=m.name)
+        gauge("machine.spm_utilisation", spm_util, machine=m.name)
+        gauge("machine.dma.latency_per_visit_s", dma_visit_s,
+              machine=m.name)
+        observe("machine.step_s", memory_step + compute_step,
+                machine=m.name)
 
         return TimingReport(
             machine=m.name,

@@ -1,0 +1,105 @@
+"""``repro.obs`` — end-to-end tracing and metrics for the MSC pipeline.
+
+The paper's evaluation (Figs. 7-14) is an exercise in knowing *where
+time goes*: DMA vs. compute on the SW26010, pack/send/wait in the halo
+exchange, trial-by-trial convergence of the annealing tuner.  This
+package is the measurement substrate for those claims:
+
+- :mod:`repro.obs.trace`   — hierarchical spans with attributes,
+- :mod:`repro.obs.metrics` — labeled counters/gauges/histograms,
+- :mod:`repro.obs.export`  — JSON, Chrome ``trace_event`` and ASCII
+  summary exporters.
+
+Everything is **off by default** and free when off: instrumentation
+sites cost one flag check and record nothing until :func:`enable` is
+called (the CLI's ``--trace`` flag, or :func:`capture` in tests).
+
+Instrumented subsystems (span name prefixes):
+
+========== ==================================================
+prefix      where
+========== ==================================================
+frontend    MSC source parsing (``frontend.parse``)
+schedule    schedule lowering (``schedule.lower``)
+codegen     AOT C/Sunway/MPI generation (``codegen.*``)
+machine     architectural simulators + DMA model (``machine.*``)
+comm        halo exchange pack/send/wait/unpack (``comm.*``)
+runtime     distributed execution steps (``runtime.*``)
+autotune    sampling, annealing trials (``autotune.*``)
+cli         top-level command spans (``cli.*``)
+========== ==================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import (
+    MetricsRegistry,
+    counter,
+    gauge,
+    observe,
+    registry,
+)
+from .trace import Span, Tracer, is_enabled, span, tracer
+
+__all__ = [
+    "INSTRUMENTED_SUBSYSTEMS",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "capture",
+    "counter",
+    "disable",
+    "enable",
+    "gauge",
+    "is_enabled",
+    "observe",
+    "registry",
+    "reset",
+    "span",
+    "tracer",
+]
+
+#: span-name prefixes emitted by the instrumented pipeline stages
+INSTRUMENTED_SUBSYSTEMS = (
+    "frontend", "schedule", "codegen", "machine", "comm", "runtime",
+    "autotune", "cli",
+)
+
+
+def enable() -> None:
+    """Turn on both the tracer and the metrics registry."""
+    tracer().enable()
+    registry().enable()
+
+
+def disable() -> None:
+    """Turn off both the tracer and the metrics registry."""
+    tracer().disable()
+    registry().disable()
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (state stays on/off as-is)."""
+    tracer().reset()
+    registry().reset()
+
+
+@contextmanager
+def capture():
+    """Record everything inside the block::
+
+        with obs.capture() as (tr, reg):
+            prog.simulate("sunway")
+        assert tr.records
+
+    Resets, enables on entry; disables on exit (records are kept so the
+    caller can export them).
+    """
+    reset()
+    enable()
+    try:
+        yield tracer(), registry()
+    finally:
+        disable()

@@ -1,0 +1,301 @@
+"""Exporters for recorded traces and metrics.
+
+Three formats:
+
+- ``json``    — the native format: full span records plus a metrics
+  snapshot, re-loadable by ``repro trace``;
+- ``chrome``  — the Chrome ``trace_event`` format (complete events,
+  ``ph: "X"``), loadable in ``chrome://tracing`` or Perfetto; one track
+  (tid) per recording thread, so simulated MPI ranks show as parallel
+  timelines;
+- ``summary`` — a human-readable ASCII tree aggregating spans by call
+  path (count / total / self / avg time) followed by the metrics.
+
+``summarize_trace_file`` re-renders the summary from a saved file of
+either on-disk format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry, registry
+from .trace import Tracer, tracer
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "trace_to_dict",
+    "export_json",
+    "export_chrome",
+    "ascii_summary",
+    "write_trace",
+    "load_trace",
+    "summarize_trace_file",
+]
+
+EXPORT_FORMATS = ("json", "chrome", "summary")
+
+NATIVE_FORMAT = "repro-trace"
+NATIVE_VERSION = 1
+
+
+# -- native format -------------------------------------------------------
+def trace_to_dict(tr: Optional[Tracer] = None,
+                  reg: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """The native serialisation: sorted span records + metrics."""
+    tr = tr or tracer()
+    reg = reg or registry()
+    spans = sorted(tr.records, key=lambda s: (s.start_s, s.span_id))
+    return {
+        "format": NATIVE_FORMAT,
+        "version": NATIVE_VERSION,
+        "epoch_wall_s": tr.epoch_wall_s,
+        "spans": [s.to_dict() for s in spans],
+        "metrics": reg.snapshot(),
+    }
+
+
+def export_json(tr: Optional[Tracer] = None,
+                reg: Optional[MetricsRegistry] = None) -> str:
+    return json.dumps(trace_to_dict(tr, reg), indent=2)
+
+
+# -- Chrome trace_event format -------------------------------------------
+def export_chrome(tr: Optional[Tracer] = None,
+                  reg: Optional[MetricsRegistry] = None) -> str:
+    """Chrome ``trace_event`` JSON (open in chrome://tracing/Perfetto).
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps; each recording thread gets its own ``tid`` plus a
+    ``thread_name`` metadata event.  The metrics snapshot rides along
+    under ``otherData`` (ignored by viewers).
+    """
+    tr = tr or tracer()
+    reg = reg or registry()
+    spans = sorted(tr.records, key=lambda s: (s.start_s, s.span_id))
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for s in spans:
+        if s.thread not in tids:
+            tid = tids[s.thread] = len(tids)
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": s.thread},
+            })
+        events.append({
+            "name": s.name,
+            "cat": s.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": s.start_s * 1e6,
+            "dur": s.duration_s * 1e6,
+            "pid": 0,
+            "tid": tids[s.thread],
+            "args": {str(k): v for k, v in s.attrs.items()},
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": NATIVE_FORMAT,
+            "metrics": reg.snapshot(),
+        },
+    }
+    return json.dumps(doc, indent=2)
+
+
+# -- ASCII summary -------------------------------------------------------
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _aggregate(spans: List[Dict[str, Any]]) -> Dict[tuple, Dict[str, Any]]:
+    """Group span dicts by their root→leaf name path."""
+    by_id = {s["span_id"]: s for s in spans}
+    paths: Dict[int, tuple] = {}
+
+    def path_of(s: Dict[str, Any]) -> tuple:
+        sid = s["span_id"]
+        cached = paths.get(sid)
+        if cached is not None:
+            return cached
+        parent = by_id.get(s.get("parent_id"))
+        p = (path_of(parent) if parent is not None else ()) + (s["name"],)
+        paths[sid] = p
+        return p
+
+    agg: Dict[tuple, Dict[str, Any]] = {}
+    for s in spans:
+        p = path_of(s)
+        node = agg.setdefault(p, {"count": 0, "total": 0.0})
+        node["count"] += 1
+        node["total"] += s["duration_s"]
+    # self time = total - direct children's total
+    for p, node in agg.items():
+        child_total = sum(
+            n["total"] for q, n in agg.items()
+            if len(q) == len(p) + 1 and q[:len(p)] == p
+        )
+        node["self"] = max(0.0, node["total"] - child_total)
+    return agg
+
+
+def _summarize(spans: List[Dict[str, Any]],
+               metrics: Dict[str, Dict[str, Any]]) -> str:
+    lines: List[str] = []
+    threads = {s["thread"] for s in spans if s.get("thread")}
+    total = sum(
+        s["duration_s"] for s in spans if s.get("parent_id") is None
+    )
+    lines.append(
+        f"TRACE SUMMARY  ({len(spans)} spans, {max(1, len(threads))} "
+        f"threads, root total {_fmt_time(total)})"
+    )
+    if spans:
+        agg = _aggregate(spans)
+        header = f"{'span':44s} {'count':>7s} {'total':>10s} " \
+                 f"{'self':>10s} {'avg':>10s}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for p in sorted(agg, key=lambda q: (q[:-1], -agg[q]["total"])):
+            node = agg[p]
+            label = "  " * (len(p) - 1) + p[-1]
+            if len(label) > 44:
+                label = label[:41] + "..."
+            lines.append(
+                f"{label:44s} {node['count']:>7d} "
+                f"{_fmt_time(node['total']):>10s} "
+                f"{_fmt_time(node['self']):>10s} "
+                f"{_fmt_time(node['total'] / node['count']):>10s}"
+            )
+    else:
+        lines.append("(no spans recorded — was tracing enabled?)")
+    for kind in ("counters", "gauges"):
+        series = metrics.get(kind) or {}
+        if series:
+            lines.append("")
+            lines.append(f"{kind.upper()}")
+            for name in sorted(series):
+                value = series[name]
+                shown = f"{value:g}" if isinstance(value, float) else value
+                lines.append(f"  {name:50s} {shown}")
+    hists = metrics.get("histograms") or {}
+    if hists:
+        lines.append("")
+        lines.append("HISTOGRAMS")
+        for name in sorted(hists):
+            h = hists[name]
+            lines.append(
+                f"  {name:40s} n={h['count']} mean={h['mean']:.4g} "
+                f"p50={h['p50']:.4g} p90={h['p90']:.4g} max={h['max']:.4g}"
+            )
+    return "\n".join(lines)
+
+
+def ascii_summary(tr: Optional[Tracer] = None,
+                  reg: Optional[MetricsRegistry] = None) -> str:
+    """Aggregated span tree + metrics for the live tracer/registry."""
+    doc = trace_to_dict(tr, reg)
+    return _summarize(doc["spans"], doc["metrics"])
+
+
+# -- file I/O ------------------------------------------------------------
+def write_trace(path: str, fmt: str = "json",
+                tr: Optional[Tracer] = None,
+                reg: Optional[MetricsRegistry] = None) -> None:
+    """Serialise the recorded trace to ``path`` in ``fmt``."""
+    if fmt == "json":
+        text = export_json(tr, reg)
+    elif fmt == "chrome":
+        text = export_chrome(tr, reg)
+    elif fmt == "summary":
+        text = ascii_summary(tr, reg) + "\n"
+    else:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; known: {EXPORT_FORMATS}"
+        )
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def _spans_from_chrome(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Rebuild span records (with parents) from chrome X events.
+
+    Parenthood is recovered per track by interval containment: events
+    on one tid are sorted by start time and nested with a stack.
+    """
+    tid_names: Dict[Any, str] = {}
+    xs = []
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tid_names[ev.get("tid")] = ev.get("args", {}).get("name", "")
+        elif ev.get("ph") == "X":
+            xs.append(ev)
+    xs.sort(key=lambda e: (e.get("tid", 0), e["ts"], -e.get("dur", 0)))
+    spans: List[Dict[str, Any]] = []
+    stack: List[Dict[str, Any]] = []  # open spans on the current tid
+    cur_tid: Any = object()
+    for i, ev in enumerate(xs):
+        tid = ev.get("tid", 0)
+        if tid != cur_tid:
+            stack = []
+            cur_tid = tid
+        start = ev["ts"] / 1e6
+        end = start + ev.get("dur", 0) / 1e6
+        while stack and start >= stack[-1]["_end"] - 1e-12:
+            stack.pop()
+        rec = {
+            "span_id": i + 1,
+            "parent_id": stack[-1]["span_id"] if stack else None,
+            "name": ev["name"],
+            "start_s": start,
+            "duration_s": end - start,
+            "thread": tid_names.get(tid, f"tid-{tid}"),
+            "attrs": dict(ev.get("args", {})),
+            "_end": end,
+        }
+        spans.append(rec)
+        stack.append(rec)
+    for rec in spans:
+        rec.pop("_end", None)
+    return spans
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Load a saved trace file (native or chrome) into the native dict."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and doc.get("format") == NATIVE_FORMAT:
+        return doc
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        other = doc.get("otherData") or {}
+        return {
+            "format": NATIVE_FORMAT,
+            "version": NATIVE_VERSION,
+            "spans": _spans_from_chrome(doc["traceEvents"]),
+            "metrics": other.get("metrics") or {},
+        }
+    # a bare chrome event array is also legal trace_event JSON
+    if isinstance(doc, list):
+        return {
+            "format": NATIVE_FORMAT,
+            "version": NATIVE_VERSION,
+            "spans": _spans_from_chrome(doc),
+            "metrics": {},
+        }
+    raise ValueError(
+        f"{path} is neither a repro trace nor a Chrome trace_event file"
+    )
+
+
+def summarize_trace_file(path: str) -> str:
+    """ASCII summary of a saved trace file (either format)."""
+    doc = load_trace(path)
+    return _summarize(doc.get("spans", []), doc.get("metrics", {}))

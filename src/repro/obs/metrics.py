@@ -1,0 +1,169 @@
+"""Labeled metrics (the ``repro.obs`` counter/gauge/histogram layer).
+
+A :class:`MetricsRegistry` holds named series of three kinds:
+
+- **counters** — monotonically accumulated sums
+  (``comm.bytes_sent{rank=3,dim=0}``),
+- **gauges** — last-written values (``machine.spm_utilisation``),
+- **histograms** — full value distributions summarised as
+  count/mean/p50/p90/max (``autotune.trial_time_s``).
+
+Series are identified by a metric name plus a label set; labels are
+arbitrary keyword arguments (``counter("comm.messages", rank=3)``).
+Like the tracer, the global registry is **disabled by default** so the
+instrumented code paths are free when observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "observe",
+    "format_series",
+]
+
+_SeriesKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> _SeriesKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+def format_series(key: _SeriesKey) -> str:
+    """Render a series key as ``name{k=v,...}`` (plain name if unlabeled)."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not ordered:
+        raise ValueError("percentile of no values")
+    idx = max(0, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._counters: Dict[_SeriesKey, float] = {}
+        self._gauges: Dict[_SeriesKey, float] = {}
+        self._hists: Dict[_SeriesKey, List[float]] = {}
+
+    # -- state -----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {}
+            self._gauges = {}
+            self._hists = {}
+
+    # -- writing ---------------------------------------------------------
+    def counter(self, name: str, value: float = 1, **labels: Any) -> None:
+        """Add ``value`` to the counter series (no-op while disabled)."""
+        if not self._enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge series to ``value`` (no-op while disabled)."""
+        if not self._enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one histogram observation (no-op while disabled)."""
+        if not self._enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._hists.setdefault(key, []).append(value)
+
+    # -- reading ---------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter series (0 if never written)."""
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        return self._gauges.get(_key(name, labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter metric across all label series."""
+        return sum(
+            v for (n, _), v in self._counters.items() if n == name
+        )
+
+    def histogram_values(self, name: str, **labels: Any) -> List[float]:
+        return list(self._hists.get(_key(name, labels), ()))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._hists)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time copy, histogram series summarised."""
+        with self._lock:
+            counters = {
+                format_series(k): v for k, v in self._counters.items()
+            }
+            gauges = {format_series(k): v for k, v in self._gauges.items()}
+            hists = {}
+            for k, values in self._hists.items():
+                ordered = sorted(values)
+                hists[format_series(k)] = {
+                    "count": len(ordered),
+                    "sum": sum(ordered),
+                    "mean": sum(ordered) / len(ordered),
+                    "p50": _percentile(ordered, 0.50),
+                    "p90": _percentile(ordered, 0.90),
+                    "max": ordered[-1],
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+        }
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry singleton."""
+    return _REGISTRY
+
+
+def counter(name: str, value: float = 1, **labels: Any) -> None:
+    _REGISTRY.counter(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    _REGISTRY.gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    _REGISTRY.observe(name, value, **labels)

@@ -1,0 +1,256 @@
+"""Hierarchical execution tracing (the ``repro.obs`` span layer).
+
+A *span* is one timed region of the pipeline — ``codegen.sunway``,
+``comm.pack``, ``autotune.trial`` — with arbitrary key/value attributes
+and parent/child nesting.  Spans are recorded by a process-global
+:class:`Tracer` that is **disabled by default**: every instrumentation
+site calls :func:`span`, and when tracing is off that call returns one
+shared, stateless no-op context manager, so the instrumented hot paths
+(``distributed_run`` steps, halo exchanges, annealing trials) pay only
+a flag check and allocate nothing.
+
+The tracer is thread-safe: the simulated MPI runtime runs every rank on
+its own thread, and each thread keeps its own span stack (so nesting is
+per rank) while finished spans land in one shared record list.
+
+Typical use::
+
+    from repro.obs import span, enable, tracer
+
+    enable()
+    with span("codegen.sunway", stencil="3d7pt_star") as sp:
+        ...
+        sp.set(files=6)
+    print(len(tracer().records))
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "tracer",
+    "span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+]
+
+
+@dataclass
+class Span:
+    """One finished span (times are seconds since the tracer epoch)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_s: float
+    duration_s: float
+    thread: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NoopSpan:
+    """The active-span stand-in when tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+class _NoopContext:
+    """Shared, stateless no-op context manager (safe to re-enter)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+_NOOP_CONTEXT = _NoopContext()
+
+
+class _ActiveSpan:
+    """A span currently open on some thread's stack."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "t0")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 attrs: Dict[str, Any]):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach/overwrite attributes on the open span."""
+        self.attrs.update(attrs)
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_attrs", "_active")
+
+    def __init__(self, tr: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tr
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> _ActiveSpan:
+        tr = self._tracer
+        stack = tr._stack()
+        parent = stack[-1].span_id if stack else None
+        with tr._lock:
+            sid = tr._next_id
+            tr._next_id += 1
+        active = _ActiveSpan(sid, parent, self._name, self._attrs)
+        stack.append(active)
+        self._active = active
+        active.t0 = time.perf_counter()
+        return active
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter()
+        tr = self._tracer
+        active = self._active
+        stack = tr._stack()
+        # tolerate out-of-order exits (e.g. enable() raced a live span)
+        if stack and stack[-1] is active:
+            stack.pop()
+        if exc_type is not None:
+            active.attrs["error"] = exc_type.__name__
+        record = Span(
+            span_id=active.span_id,
+            parent_id=active.parent_id,
+            name=active.name,
+            start_s=active.t0 - tr._epoch,
+            duration_s=t1 - active.t0,
+            thread=threading.current_thread().name,
+            attrs=active.attrs,
+        )
+        with tr._lock:
+            tr.records.append(record)
+        return False
+
+
+class Tracer:
+    """Thread-safe in-memory span recorder.
+
+    Disabled by default; :meth:`span` is a no-op until :meth:`enable`.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+        self._epoch_wall = time.time()
+        #: finished spans, appended at span exit
+        self.records: List[Span] = []
+
+    # -- state -----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all records and restart the clock epoch."""
+        with self._lock:
+            self.records = []
+            self._next_id = 1
+            self._epoch = time.perf_counter()
+            self._epoch_wall = time.time()
+        self._tls = threading.local()
+
+    # -- recording -------------------------------------------------------
+    def _stack(self) -> List[_ActiveSpan]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; returns a context manager yielding the span.
+
+        When the tracer is disabled this returns a shared no-op context
+        manager and records nothing.
+        """
+        if not self._enabled:
+            return _NOOP_CONTEXT
+        return _SpanContext(self, name, attrs)
+
+    def current_span(self) -> Optional[_ActiveSpan]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def epoch_wall_s(self) -> float:
+        """Wall-clock time (``time.time``) of the tracer epoch."""
+        return self._epoch_wall
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-global tracer singleton."""
+    return _TRACER
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global tracer (no-op while disabled)."""
+    if not _TRACER._enabled:
+        return _NOOP_CONTEXT
+    return _SpanContext(_TRACER, name, attrs)
+
+
+def enable() -> None:
+    _TRACER.enable()
+
+
+def disable() -> None:
+    _TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return _TRACER._enabled
+
+
+def reset() -> None:
+    _TRACER.reset()

@@ -19,6 +19,7 @@ from ..comm.decomposition import SubDomain, decompose
 from ..comm.halo import HaloSpec
 from ..ir.stencil import Stencil
 from ..ir.validate import validate_stencil
+from ..obs import counter, span
 from .simmpi import CartComm, run_ranks
 
 __all__ = ["distributed_run", "DistributedStencil"]
@@ -128,27 +129,32 @@ class DistributedStencil:
     def step(self) -> None:
         out = self.stencil.output
         t = self.newest + 1
-        region = [(0, s) for s in self.sub.shape]
-        acc = np.zeros(self.sub.shape, dtype=out.dtype.np_dtype)
-        for scale, app in self.stencil.combination_terms():
-            planes = dict(self._static)
-            planes[(out.name, 0)] = self.plane(t + app.time_offset)
-            for extra in range(1, out.time_window):
-                held = t + app.time_offset - extra
-                if held >= 0:
-                    try:
-                        planes[(out.name, -extra)] = self.plane(held)
-                    except KeyError:
-                        pass
-            val = evaluate_kernel(app.kernel, planes, self._halos, region,
-                                  scalars=self._scalars)
-            acc += np.asarray(scale * val, dtype=out.dtype.np_dtype)
-        w = out.time_window
-        slot = t % w
-        self._held[slot] = t
-        self.newest = t
-        self._interior(self._planes[slot])[...] = acc
-        self._refresh_ghosts(self._planes[slot])
+        with span("runtime.step", rank=self.comm.rank, t=t):
+            region = [(0, s) for s in self.sub.shape]
+            acc = np.zeros(self.sub.shape, dtype=out.dtype.np_dtype)
+            for scale, app in self.stencil.combination_terms():
+                planes = dict(self._static)
+                planes[(out.name, 0)] = self.plane(t + app.time_offset)
+                for extra in range(1, out.time_window):
+                    held = t + app.time_offset - extra
+                    if held >= 0:
+                        try:
+                            planes[(out.name, -extra)] = self.plane(held)
+                        except KeyError:
+                            pass
+                with span("runtime.kernel_eval", kernel=app.kernel.name):
+                    val = evaluate_kernel(
+                        app.kernel, planes, self._halos, region,
+                        scalars=self._scalars,
+                    )
+                acc += np.asarray(scale * val, dtype=out.dtype.np_dtype)
+            w = out.time_window
+            slot = t % w
+            self._held[slot] = t
+            self.newest = t
+            self._interior(self._planes[slot])[...] = acc
+            self._refresh_ghosts(self._planes[slot])
+        counter("runtime.steps", rank=self.comm.rank)
 
     def local_result(self) -> np.ndarray:
         return self._interior(self.plane(self.newest)).copy()
@@ -218,13 +224,15 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
         )
         for name, tensor in aux_tensors.items():
             dist.set_static_input(name, tensor, np.asarray(inputs[name]))
-        for t, plane in enumerate(init):
-            dist.seed(t, plane)
+        with span("runtime.seed", rank=comm.rank):
+            for t, plane in enumerate(init):
+                dist.seed(t, plane)
         for _ in range(timesteps):
             dist.step()
-        pieces = comm.gather(
-            (dist.sub.rank, dist.local_result()), root=0
-        )
+        with span("runtime.gather", rank=comm.rank):
+            pieces = comm.gather(
+                (dist.sub.rank, dist.local_result()), root=0
+            )
         if comm.rank != 0:
             return None
         result = np.zeros(out.shape, dtype=out.dtype.np_dtype)
@@ -234,5 +242,10 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
             result[sd.slices()] = data
         return result
 
-    results = run_ranks(nprocs, rank_main, cart_dims=grid, periods=periods)
+    with span("runtime.distributed_run", stencil=out.name,
+              nprocs=nprocs, grid=str(grid), timesteps=timesteps,
+              exchanger=exchanger):
+        results = run_ranks(
+            nprocs, rank_main, cart_dims=grid, periods=periods
+        )
     return results[0]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..ir.axis import Axis
 from ..ir.kernel import Kernel
+from ..obs import span
 from .loopnest import LoopNest
 from .primitives import (
     CacheReadPrim,
@@ -280,15 +281,20 @@ class Schedule:
                     f"vectorized axis {self._vectorize.axis!r} must be "
                     f"the innermost loop (innermost is {axes[-1].name!r})"
                 )
-        nest = LoopNest(
-            axes=axes,
-            domain=domain,
-            tile_factors=tile_factors,
-            parallel_axis=self._parallel.axis if self._parallel else None,
-            nthreads=self.nthreads,
-            vectorized_axis=self.vectorized_axis,
-            unroll_factors=self.unroll_factors,
-        )
+        with span("schedule.lower", kernel=self.kernel.name) as sp:
+            nest = LoopNest(
+                axes=axes,
+                domain=domain,
+                tile_factors=tile_factors,
+                parallel_axis=(
+                    self._parallel.axis if self._parallel else None
+                ),
+                nthreads=self.nthreads,
+                vectorized_axis=self.vectorized_axis,
+                unroll_factors=self.unroll_factors,
+            )
+            sp.set(ntiles=nest.ntiles, nthreads=nest.nthreads,
+                   tile=str(nest.tile_shape()))
         return nest
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

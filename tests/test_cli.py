@@ -197,3 +197,96 @@ class TestPipelineCLI:
               "--serial"])
         serial = capsys.readouterr().out.splitlines()[1:]
         assert dist == serial
+
+
+class TestTraceCLI:
+    def _simulate_traced(self, tmp_path, capsys, fmt):
+        path = tmp_path / f"trace-{fmt}.json"
+        rc = main(["simulate", "3d7pt_star", "--machine", "sunway",
+                   "--trace", str(path), "--trace-format", fmt])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"trace written to {path}" in out
+        return path, out
+
+    def test_simulate_trace_json(self, tmp_path, capsys):
+        import json
+
+        path, out = self._simulate_traced(tmp_path, capsys, "json")
+        assert "codegen [sunway]" in out
+        assert "distributed exchange" in out
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-trace"
+        prefixes = {s["name"].split(".", 1)[0] for s in doc["spans"]}
+        # the acceptance bar: spans from codegen, machine sim, comm
+        # and the distributed runtime in one command
+        assert {"codegen", "machine", "comm", "runtime"} <= prefixes
+        assert doc["metrics"]["counters"]
+
+    def test_simulate_trace_chrome(self, tmp_path, capsys):
+        import json
+
+        path, _ = self._simulate_traced(tmp_path, capsys, "chrome")
+        doc = json.loads(path.read_text())
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert xs and all("ts" in e and "dur" in e for e in xs)
+        # nested spans: comm.pack sits under comm.exchange by interval
+        names = {e["name"] for e in xs}
+        assert {"cli.simulate", "comm.exchange", "comm.pack"} <= names
+        # simulated ranks appear as separate tracks
+        tids = {e["tid"] for e in xs}
+        assert len(tids) >= 2
+
+    def test_trace_command_summarizes(self, tmp_path, capsys):
+        path, _ = self._simulate_traced(tmp_path, capsys, "json")
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "TRACE SUMMARY" in out
+        assert "comm.exchange" in out
+        assert "COUNTERS" in out
+
+    def test_trace_command_reads_chrome(self, tmp_path, capsys):
+        path, _ = self._simulate_traced(tmp_path, capsys, "chrome")
+        assert main(["trace", str(path)]) == 0
+        assert "TRACE SUMMARY" in capsys.readouterr().out
+
+    def test_trace_summary_format(self, tmp_path, capsys):
+        path, _ = self._simulate_traced(tmp_path, capsys, "summary")
+        assert "TRACE SUMMARY" in path.read_text()
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent-trace.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_with_trace(self, msc_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "run.json"
+        assert main(["run", msc_file, "--steps", "2",
+                     "--trace", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        names = {s["name"] for s in doc["spans"]}
+        assert {"cli.run", "frontend.parse", "runtime.step"} <= names
+
+    def test_no_trace_flag_records_nothing(self, capsys):
+        from repro.obs import is_enabled, tracer
+
+        assert main(["simulate", "3d7pt_star", "--machine", "sunway",
+                     "--skip-pipeline"]) == 0
+        assert not is_enabled()
+        out = capsys.readouterr().out
+        assert "trace written" not in out
+
+    def test_list_shows_exporters(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "trace exporters: json, chrome, summary" in out
+        assert "instrumented subsystems:" in out
+        assert "autotune" in out
+
+    def test_skip_pipeline_omits_stages(self, capsys):
+        assert main(["simulate", "3d7pt_star", "--machine", "sunway",
+                     "--skip-pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "codegen [" not in out
+        assert "distributed exchange" not in out

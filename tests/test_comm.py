@@ -259,3 +259,85 @@ class TestRegistry:
     def test_non_exchanger_rejected(self):
         with pytest.raises(TypeError):
             register_exchanger("bad", dict)
+
+
+class TestTrafficCounters:
+    """Satellite: exact message/byte accounting on the exchangers."""
+
+    @staticmethod
+    def _run_async_2d():
+        """Periodic 2x2 grid, sub (4,4), halo (1,1), fp64."""
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = AsyncHaloExchanger(comm, spec)
+            plane = np.zeros(spec.padded_shape)
+            ex.exchange(plane)
+            return ex
+
+        return run_ranks(4, main, cart_dims=(2, 2),
+                         periods=(True, True))
+
+    def test_exact_counts_2d_async(self):
+        # Each strip spans the full padded extent in the other
+        # dimension: 1 x (4+2) = 6 float64 = 48 bytes per message;
+        # 2 dims x 2 directions = 4 messages per rank.
+        exchangers = self._run_async_2d()
+        for ex in exchangers:
+            assert ex.messages == 4
+            assert ex.bytes_sent == 4 * 6 * 8
+        assert sum(ex.messages for ex in exchangers) == 16
+        assert sum(ex.bytes_sent for ex in exchangers) == 16 * 48
+
+    def test_reset_counters(self):
+        for ex in self._run_async_2d():
+            assert ex.messages > 0 and ex.bytes_sent > 0
+            ex.reset_counters()
+            assert ex.messages == 0 and ex.bytes_sent == 0
+
+    def test_nonperiodic_boundary_sends_fewer(self):
+        # on a non-periodic 2x2 every rank is a corner: one neighbour
+        # per dimension instead of two
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = AsyncHaloExchanger(comm, spec)
+            ex.exchange(np.zeros(spec.padded_shape))
+            return (ex.messages, ex.bytes_sent)
+
+        res = run_ranks(4, main, cart_dims=(2, 2),
+                        periods=(False, False))
+        assert all(m == 2 and b == 2 * 48 for m, b in res)
+
+    def test_counters_mirrored_into_metrics_registry(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            exchangers = self._run_async_2d()
+        finally:
+            obs.disable()
+        reg = obs.registry()
+        try:
+            assert reg.counter_total("comm.messages") == 16
+            assert reg.counter_total("comm.bytes_sent") == 16 * 48
+            # labeled per rank and per dimension
+            assert reg.counter_value("comm.messages", rank=0) == 4
+            assert reg.counter_value(
+                "comm.bytes_sent", rank=0, dim=0
+            ) == 2 * 48
+            del exchangers
+        finally:
+            obs.reset()
+
+    def test_master_strategy_counts_routing_header(self):
+        # the master exchanger ships 2 routing slots with each strip
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = MasterCoordinatedExchanger(comm, spec)
+            ex.exchange(np.zeros(spec.padded_shape))
+            return (ex.messages, ex.bytes_sent)
+
+        res = run_ranks(4, main, cart_dims=(2, 2),
+                        periods=(True, True))
+        assert all(m == 4 for m, _ in res)
+        assert all(b == 4 * (6 + 2) * 8 for _, b in res)

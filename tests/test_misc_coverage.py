@@ -41,10 +41,27 @@ class TestTimingReport:
         slow = self._report(compute=1.0, memory=1.0)
         assert fast.speedup_over(slow) == pytest.approx(10.0)
 
-    def test_zero_time_guard(self):
+    def test_zero_time_with_flops_is_malformed(self):
+        # work recorded but no elapsed time: a malformed report, and the
+        # error names the stencil rather than leaking a bare
+        # ZeroDivisionError (regression: obs/metrics consumers render
+        # empty reports)
         r = self._report(compute=0.0, memory=0.0, steps=1)
-        with pytest.raises(ZeroDivisionError):
+        with pytest.raises(ValueError, match="zero elapsed time"):
             r.gflops
+
+    def test_empty_run_rates_zero(self):
+        # 0 flops (or 0 timesteps) and 0 time is simply an empty run
+        r = TimingReport(
+            machine="m", stencil="s", precision="fp64", timesteps=0,
+            compute_s=0.0, memory_s=0.0, flops_per_step=1e9,
+        )
+        assert r.gflops == 0.0
+        r = TimingReport(
+            machine="m", stencil="s", precision="fp64", timesteps=5,
+            compute_s=0.0, memory_s=0.0, flops_per_step=0.0,
+        )
+        assert r.gflops == 0.0
 
 
 class TestGeneratedCode:
