@@ -18,6 +18,10 @@ Commands
 ``--trace FILE [--trace-format {json,chrome,summary}]`` to record an
 execution trace through the :mod:`repro.obs` layer; ``chrome`` files
 load in ``chrome://tracing`` / Perfetto.
+
+``simulate`` additionally accepts ``--inject-faults SPEC
+[--fault-seed N]`` to run the distributed-exchange stage over a faulty
+simulated fabric (see ``docs/RESILIENCE.md``).
 """
 
 from __future__ import annotations
@@ -82,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-pipeline", action="store_true",
                    help="timing report only: skip the codegen and "
                         "distributed-exchange pipeline stages")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="inject faults into the distributed-exchange "
+                        "stage, e.g. 'drop:p=0.2,crash:rank=1:step=5' "
+                        "(see docs/RESILIENCE.md)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for deterministic fault injection "
+                        "(default: 0)")
     _add_trace_flags(p)
 
     p = sub.add_parser("tune", help="auto-tune a benchmark")
@@ -218,7 +229,13 @@ def _cmd_simulate(args) -> int:
     for key, val in sorted(report.details.items()):
         print(f"  {key}: {val:.4g}")
     if not args.skip_pipeline:
-        _simulate_exchange_stage(args.benchmark, dtype)
+        return _simulate_exchange_stage(
+            args.benchmark, dtype, spec=args.inject_faults,
+            seed=args.fault_seed,
+        )
+    if args.inject_faults:
+        print("warning: --inject-faults has no effect with "
+              "--skip-pipeline", file=sys.stderr)
     return 0
 
 
@@ -233,13 +250,22 @@ def _simulate_codegen_stage(benchmark: str, prog, target: str) -> None:
     print(f"codegen [{target}]: {len(code.files)} files, {nbytes} bytes")
 
 
-def _simulate_exchange_stage(benchmark: str, dtype) -> None:
+def _simulate_exchange_stage(benchmark: str, dtype,
+                             spec: Optional[str] = None,
+                             seed: int = 0) -> int:
     """Scaled-down distributed run: exercises the communication library
-    and the distributed runtime (and records them under ``--trace``)."""
+    and the distributed runtime (and records them under ``--trace``).
+
+    With a fault ``spec``, a seeded injector is attached to the
+    simulated world and the async exchanger's retransmission protocol
+    keeps the run correct (or surfaces an unrecoverable failure)."""
     from .frontend.stencils import benchmark_by_name
     from .obs import registry
     from .runtime.executor import distributed_run
+    from .runtime.faults import FaultInjector
+    from .runtime.simmpi import SimMPIError
 
+    injector = FaultInjector(spec, seed=seed) if spec else None
     bench = benchmark_by_name(benchmark)
     grid = (2, 2) if bench.ndim == 2 else (2, 1, 2)
     base = (24, 20) if bench.ndim == 2 else (12, 12, 12)
@@ -254,18 +280,33 @@ def _simulate_exchange_stage(benchmark: str, dtype) -> None:
             rng.random(shape).astype(dtype.np_dtype) for _ in range(need)
         ]
         result = distributed_run(
-            demo.ir, init, steps, grid, boundary="periodic"
+            demo.ir, init, steps, grid, boundary="periodic",
+            faults=injector,
         )
+    except SimMPIError as exc:
+        if injector is None:
+            print(f"distributed exchange: skipped ({exc})")
+            return 0
+        # an unrecoverable injected failure is a result, not a skip
+        print(f"distributed exchange: FAILED under injected faults "
+              f"({injector.summary()})")
+        print(f"  {exc}")
+        return 1
     except Exception as exc:  # noqa: BLE001 - report, don't abort timing
         print(f"distributed exchange: skipped ({exc})")
-        return
+        return 0
     print(f"distributed exchange: {steps} steps on {shape} over MPI "
           f"grid {grid}, l2={np.linalg.norm(result):.6e}")
+    if injector is not None:
+        print(f"  injected faults (seed {seed}): {injector.summary()}")
     reg = registry()
     if reg.enabled:
         msgs = reg.counter_total("comm.messages")
         byts = reg.counter_total("comm.bytes_sent")
         print(f"  halo traffic: {msgs:g} messages, {byts:g} bytes")
+        if injector is not None:
+            print(f"  retries: {reg.counter_total('comm.retry'):g}")
+    return 0
 
 
 def _cmd_tune(args) -> int:

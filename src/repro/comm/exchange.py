@@ -22,18 +22,28 @@ Two exchanger strategies are provided:
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..obs import counter, span
-from ..runtime.simmpi import CartComm, Request
+from ..runtime.simmpi import CartComm, Request, SimMPIError
 from .halo import HaloSpec, Region, halo_regions
 from .packing import BufferPool, pack, unpack
 
 __all__ = ["HaloExchanger", "AsyncHaloExchanger", "MasterCoordinatedExchanger"]
 
 _TAG_BASE = 4096
+
+# The async exchanger stamps every strip with its exchange sequence
+# number so a retransmitted (or duplicated) strip from exchange *k* can
+# never satisfy a receive posted by exchange *k+1*: stale copies simply
+# never match.  512 in-flight sequence slots is far beyond any window
+# the per-operation timeouts allow.
+_SEQ_WINDOW = 512
+_TAG_STRIDE = 8  # 2 * ndim(<=3) direction/dimension sub-tags, rounded up
+_ACK_BASE = _TAG_BASE + _TAG_STRIDE * _SEQ_WINDOW
 
 
 class HaloExchanger:
@@ -80,7 +90,53 @@ class HaloExchanger:
 
 
 class AsyncHaloExchanger(HaloExchanger):
-    """MSC's exchanger: concurrent Isend/Irecv per dimension phase."""
+    """MSC's exchanger: concurrent Isend/Irecv per dimension phase.
+
+    When the world has a fault injector attached (or ``resilient=True``
+    is forced) each phase runs a retransmission protocol: strips carry
+    sequence-numbered tags, the receiver acknowledges every strip over
+    the reliable control channel, and a sender whose ACK misses its
+    per-operation deadline re-sends the identical strip (idempotent by
+    tag) with exponential backoff, up to ``max_retries`` times.  Clean
+    worlds take the plain fast path — identical traffic, no ACKs.
+    """
+
+    def __init__(self, comm: CartComm, spec: HaloSpec,
+                 retry_timeout: float = 0.25, max_retries: int = 6,
+                 backoff: float = 2.0, op_timeout: float = 60.0,
+                 resilient: Optional[bool] = None):
+        super().__init__(comm, spec)
+        if retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.op_timeout = op_timeout
+        self.resilient = resilient
+        #: retransmissions performed by this process (for diagnostics)
+        self.retries = 0
+        self._seq = 0
+
+    # sequence-stamped data/ACK tags; the (dim, bit) sub-tag keeps the
+    # pre-existing pairing: a strip sent in direction ``dir`` matches
+    # the peer's receive on its opposite face
+    def _data_tag(self, seq: int, dim: int, bit: int) -> int:
+        return (_TAG_BASE + (seq % _SEQ_WINDOW) * _TAG_STRIDE
+                + 2 * dim + bit)
+
+    def _ack_tag(self, seq: int, dim: int, bit: int) -> int:
+        return (_ACK_BASE + (seq % _SEQ_WINDOW) * _TAG_STRIDE
+                + 2 * dim + bit)
+
+    @staticmethod
+    def _send_bit(region: Region) -> int:
+        return 0 if region.direction < 0 else 1
+
+    @staticmethod
+    def _recv_bit(region: Region) -> int:
+        return 0 if region.direction > 0 else 1
 
     def exchange(self, plane: np.ndarray) -> None:
         if plane.shape != self.spec.padded_shape:
@@ -88,55 +144,185 @@ class AsyncHaloExchanger(HaloExchanger):
                 f"plane shape {plane.shape} != padded shape "
                 f"{self.spec.padded_shape}"
             )
+        seq = self._seq
+        self._seq += 1
+        resilient = (
+            self.comm.faults_active if self.resilient is None
+            else self.resilient
+        )
         ndim = len(self.spec.sub_shape)
-        with span("comm.exchange", rank=self.comm.rank, strategy="async"):
+        with span("comm.exchange", rank=self.comm.rank, strategy="async",
+                  seq=seq, resilient=resilient):
             for d in range(ndim):
                 phase = [r for r in self.regions if r.dim == d]
                 if not phase:
                     continue
-                recvs: List[Optional[Request]] = []
-                recv_bufs = []
-                for region in phase:
-                    peer = self._neighbour(region)
-                    if peer < 0:
-                        recvs.append(None)
-                        recv_bufs.append(None)
-                        continue
-                    n = region.count(self.spec.padded_shape)
-                    buf = self.pool.get(n, plane.dtype,
-                                        tag=f"recv-{d}-{region.direction}")
-                    recv_bufs.append(buf)
-                    recvs.append(
-                        self.comm.Irecv(buf, source=peer,
-                                        tag=self._tag(region))
+                if resilient:
+                    self._exchange_phase_resilient(plane, phase, d, seq)
+                else:
+                    self._exchange_phase_fast(plane, phase, d, seq)
+
+    # -- clean fast path -------------------------------------------------
+    def _exchange_phase_fast(self, plane: np.ndarray,
+                             phase: Sequence[Region], d: int,
+                             seq: int) -> None:
+        recvs: List[Optional[Request]] = []
+        recv_bufs = []
+        for region in phase:
+            peer = self._neighbour(region)
+            if peer < 0:
+                recvs.append(None)
+                recv_bufs.append(None)
+                continue
+            n = region.count(self.spec.padded_shape)
+            buf = self.pool.get(n, plane.dtype,
+                                tag=f"recv-{d}-{region.direction}")
+            recv_bufs.append(buf)
+            recvs.append(
+                self.comm.Irecv(
+                    buf, source=peer,
+                    tag=self._data_tag(seq, d, self._recv_bit(region)),
+                )
+            )
+        for region in phase:
+            peer = self._neighbour(region)
+            if peer < 0:
+                continue
+            n = region.count(self.spec.padded_shape)
+            sbuf = self.pool.get(n, plane.dtype,
+                                 tag=f"send-{d}-{region.direction}")
+            with span("comm.pack", dim=d, dir=region.direction):
+                pack(plane, region.send, sbuf)
+            # the message a peer receives on its (dim, dir) face
+            # was sent from our opposite-direction strip
+            send_tag = self._data_tag(seq, d, self._send_bit(region))
+            with span("comm.send", dim=d, dir=region.direction,
+                      bytes=sbuf.nbytes):
+                self.comm.Isend(sbuf, dest=peer, tag=send_tag).Wait()
+            self._count_message(sbuf.nbytes, d)
+        for region, req, buf in zip(phase, recvs, recv_bufs):
+            if req is None:
+                continue
+            with span("comm.wait", dim=d, dir=region.direction):
+                req.Wait(self.op_timeout)
+            with span("comm.unpack", dim=d, dir=region.direction):
+                unpack(buf, plane, region.recv)
+
+    # -- fault-tolerant path ---------------------------------------------
+    def _exchange_phase_resilient(self, plane: np.ndarray,
+                                  phase: Sequence[Region], d: int,
+                                  seq: int) -> None:
+        comm = self.comm
+        now = time.monotonic()
+        overall_deadline = now + self.op_timeout
+        recv_pending = {}
+        for region in phase:
+            peer = self._neighbour(region)
+            if peer < 0:
+                continue
+            n = region.count(self.spec.padded_shape)
+            buf = self.pool.get(n, plane.dtype,
+                                tag=f"recv-{d}-{region.direction}")
+            req = comm.Irecv(
+                buf, source=peer,
+                tag=self._data_tag(seq, d, self._recv_bit(region)),
+            )
+            recv_pending[region.direction] = (region, req, buf, peer)
+        ack_pending = {}
+        ack_out = self.pool.get(1, np.uint8, tag="ack-out")
+        for region in phase:
+            peer = self._neighbour(region)
+            if peer < 0:
+                continue
+            n = region.count(self.spec.padded_shape)
+            sbuf = self.pool.get(n, plane.dtype,
+                                 tag=f"send-{d}-{region.direction}")
+            with span("comm.pack", dim=d, dir=region.direction):
+                pack(plane, region.send, sbuf)
+            bit = self._send_bit(region)
+            send_tag = self._data_tag(seq, d, bit)
+            with span("comm.send", dim=d, dir=region.direction,
+                      bytes=sbuf.nbytes):
+                comm.Isend(sbuf, dest=peer, tag=send_tag)
+            self._count_message(sbuf.nbytes, d)
+            ack_buf = self.pool.get(
+                1, np.uint8, tag=f"ack-in-{d}-{region.direction}"
+            )
+            ack_pending[region.direction] = {
+                "region": region,
+                "peer": peer,
+                "sbuf": sbuf,
+                "send_tag": send_tag,
+                "req": comm.Irecv(ack_buf, source=peer,
+                                  tag=self._ack_tag(seq, d, bit)),
+                "deadline": time.monotonic() + self.retry_timeout,
+                "attempts": 0,
+            }
+        while recv_pending or ack_pending:
+            gen = comm.activity()
+            progressed = False
+            for key in list(recv_pending):
+                region, req, buf, peer = recv_pending[key]
+                if not req.Test():  # terminal errors re-raise here
+                    continue
+                # acknowledge over the reliable control channel, then
+                # install the ghost strip
+                comm.Send(
+                    ack_out, dest=peer, reliable=True,
+                    tag=self._ack_tag(seq, d, self._recv_bit(region)),
+                )
+                with span("comm.unpack", dim=d, dir=region.direction):
+                    unpack(buf, plane, region.recv)
+                del recv_pending[key]
+                progressed = True
+            for key in list(ack_pending):
+                if ack_pending[key]["req"].Test():
+                    del ack_pending[key]
+                    progressed = True
+            if not (recv_pending or ack_pending):
+                break
+            if progressed:
+                continue
+            now = time.monotonic()
+            for entry in ack_pending.values():
+                if now < entry["deadline"]:
+                    continue
+                region = entry["region"]
+                if entry["attempts"] >= self.max_retries:
+                    raise SimMPIError(
+                        f"rank {comm.rank}: halo strip (dim {d}, dir "
+                        f"{region.direction:+d}) to rank "
+                        f"{entry['peer']} unacknowledged after "
+                        f"{entry['attempts']} retries"
                     )
-                for region in phase:
-                    peer = self._neighbour(region)
-                    if peer < 0:
-                        continue
-                    n = region.count(self.spec.padded_shape)
-                    sbuf = self.pool.get(n, plane.dtype,
-                                         tag=f"send-{d}-{region.direction}")
-                    with span("comm.pack", dim=d, dir=region.direction):
-                        pack(plane, region.send, sbuf)
-                    # the message a peer receives on its (dim, dir) face
-                    # was sent from our opposite-direction strip
-                    send_tag = (
-                        _TAG_BASE + 2 * d
-                        + (0 if region.direction < 0 else 1)
-                    )
-                    with span("comm.send", dim=d, dir=region.direction,
-                              bytes=sbuf.nbytes):
-                        self.comm.Isend(sbuf, dest=peer,
-                                        tag=send_tag).Wait()
-                    self._count_message(sbuf.nbytes, d)
-                for region, req, buf in zip(phase, recvs, recv_bufs):
-                    if req is None:
-                        continue
-                    with span("comm.wait", dim=d, dir=region.direction):
-                        req.Wait()
-                    with span("comm.unpack", dim=d, dir=region.direction):
-                        unpack(buf, plane, region.recv)
+                entry["attempts"] += 1
+                self.retries += 1
+                counter("comm.retry", rank=comm.rank, dim=d)
+                with span("comm.retry", dim=d, dir=region.direction,
+                          attempt=entry["attempts"],
+                          bytes=entry["sbuf"].nbytes):
+                    comm.Isend(entry["sbuf"], dest=entry["peer"],
+                               tag=entry["send_tag"])
+                entry["deadline"] = now + self.retry_timeout * (
+                    self.backoff ** entry["attempts"]
+                )
+                progressed = True
+            if progressed:
+                continue
+            if now >= overall_deadline:
+                waiting = sorted(recv_pending) + sorted(ack_pending)
+                raise SimMPIError(
+                    f"rank {comm.rank}: halo exchange (dim {d}) did not "
+                    f"complete within {self.op_timeout}s "
+                    f"(outstanding directions {waiting})"
+                )
+            next_deadline = min(
+                [e["deadline"] for e in ack_pending.values()]
+                + [overall_deadline]
+            )
+            comm.wait_for_activity(
+                max(0.0, next_deadline - now), seen=gen
+            )
 
 
 class MasterCoordinatedExchanger(HaloExchanger):

@@ -60,10 +60,15 @@ def get_exchanger(name: str) -> Type[HaloExchanger]:
         ) from None
 
 
-def create_exchanger(name: str, comm: CartComm,
-                     spec: HaloSpec) -> HaloExchanger:
-    """Instantiate a registered strategy for one rank."""
-    return get_exchanger(name)(comm, spec)
+def create_exchanger(name: str, comm: CartComm, spec: HaloSpec,
+                     **options) -> HaloExchanger:
+    """Instantiate a registered strategy for one rank.
+
+    ``options`` are forwarded to the strategy's constructor (e.g. the
+    async exchanger's ``retry_timeout``/``max_retries`` resilience
+    knobs); strategies that take none reject them naturally.
+    """
+    return get_exchanger(name)(comm, spec, **options)
 
 
 def available_exchangers() -> list:

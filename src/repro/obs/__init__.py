@@ -23,8 +23,9 @@ frontend    MSC source parsing (``frontend.parse``)
 schedule    schedule lowering (``schedule.lower``)
 codegen     AOT C/Sunway/MPI generation (``codegen.*``)
 machine     architectural simulators + DMA model (``machine.*``)
-comm        halo exchange pack/send/wait/unpack (``comm.*``)
+comm        halo exchange pack/send/wait/unpack/retry (``comm.*``)
 runtime     distributed execution steps (``runtime.*``)
+faults      injected message/rank faults (``faults.*`` counters)
 autotune    sampling, annealing trials (``autotune.*``)
 cli         top-level command spans (``cli.*``)
 ========== ==================================================
@@ -64,7 +65,7 @@ __all__ = [
 #: span-name prefixes emitted by the instrumented pipeline stages
 INSTRUMENTED_SUBSYSTEMS = (
     "frontend", "schedule", "codegen", "machine", "comm", "runtime",
-    "autotune", "cli",
+    "autotune", "faults", "cli",
 )
 
 

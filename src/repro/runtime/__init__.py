@@ -1,22 +1,26 @@
-"""Execution runtime: simulated MPI, the network timing model, and the
-distributed stencil executor."""
+"""Execution runtime: simulated MPI, fault injection, the network
+timing model, and the distributed stencil executor."""
 
 from .simmpi import (
     ANY_SOURCE,
     ANY_TAG,
     CartComm,
     Communicator,
+    RankCrashedError,
     Request,
     SimMPIError,
+    SimMPITimeout,
     run_ranks,
 )
+from .faults import FaultInjector, FaultSpec, parse_fault_spec
 from .network import NetworkModel, ScalePoint, scaling_run
 from .topology import ExchangeLoad, Topology, fat_tree, route_exchange, torus
 from .executor import DistributedStencil, distributed_run
 
 __all__ = [
     "ANY_SOURCE", "ANY_TAG", "CartComm", "Communicator", "Request",
-    "SimMPIError", "run_ranks",
+    "RankCrashedError", "SimMPIError", "SimMPITimeout", "run_ranks",
+    "FaultInjector", "FaultSpec", "parse_fault_spec",
     "NetworkModel", "ScalePoint", "scaling_run",
     "ExchangeLoad", "Topology", "fat_tree", "route_exchange", "torus",
     "DistributedStencil", "distributed_run",

@@ -166,7 +166,7 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
                     inputs: Optional[Mapping[str, np.ndarray]] = None,
                     exchanger: str = "async",
                     subdomains: Optional[Sequence[SubDomain]] = None,
-                    scalars=None) -> np.ndarray:
+                    scalars=None, faults=None) -> np.ndarray:
     """Run ``timesteps`` sweeps over an MPI grid; return the global result.
 
     ``init`` are the W-1 global initial planes.  Uses the named
@@ -174,6 +174,11 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
     custom rectilinear (tensor-product) ``subdomains`` list — e.g. the
     inspector's load-balanced decomposition — may replace the default
     uniform split; it must match ``grid``'s rank ordering.
+
+    ``faults`` attaches a fault injector to the simulated world (a
+    :class:`~repro.runtime.faults.FaultInjector` or a spec string such
+    as ``"drop:p=0.2"``); the ``async`` exchanger then runs its
+    retransmission protocol (see ``docs/RESILIENCE.md``).
     """
     grid = tuple(int(g) for g in grid)
     out = stencil.output
@@ -244,8 +249,9 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
 
     with span("runtime.distributed_run", stencil=out.name,
               nprocs=nprocs, grid=str(grid), timesteps=timesteps,
-              exchanger=exchanger):
+              exchanger=exchanger, faulty=faults is not None):
         results = run_ranks(
-            nprocs, rank_main, cart_dims=grid, periods=periods
+            nprocs, rank_main, cart_dims=grid, periods=periods,
+            faults=faults,
         )
     return results[0]

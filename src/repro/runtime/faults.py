@@ -1,0 +1,266 @@
+"""Deterministic fault injection for the simulated MPI fabric.
+
+The paper's communication library must survive a real interconnect at
+1024 processes (Sec. 5.3/5.5); this module lets the simulated runtime
+model that interconnect misbehaving.  A :class:`FaultInjector` is
+attached to a world (``run_ranks(..., faults=...)``) and consulted on
+every data-plane message:
+
+- **drop**    — the message is silently discarded,
+- **delay**   — delivery is postponed by a fixed interval,
+- **dup**     — the message is delivered twice,
+- **reorder** — the message jumps the mailbox queue,
+- **crash**   — a chosen rank dies at a chosen operation.
+
+Decisions are **deterministic given the seed** regardless of thread
+scheduling: each message is identified by ``(source, dest, tag,
+per-stream index)`` and the verdict is a keyed hash of that identity,
+not a draw from a shared RNG whose call order would depend on the OS
+scheduler.  Two runs with the same seed inject faults into exactly the
+same messages.
+
+Control-plane messages (the exchanger's ACKs, sent with
+``reliable=True``) are exempt from drop/delay/dup/reorder — the model
+is a lossy bulk-data fabric with a reliable small-message channel — but
+no message escapes a crashed rank.
+
+Spec grammar (CLI ``--inject-faults``)::
+
+    SPEC     := CLAUSE ("," CLAUSE)*
+    CLAUSE   := KIND (":" KEY "=" VALUE)*
+    KIND     := drop | delay | dup | reorder | crash
+
+    drop:p=0.2            drop 20% of data messages
+    delay:p=0.1:s=0.02    delay 10% of messages by 20 ms
+    dup:p=0.05            duplicate 5% of messages
+    reorder:p=0.1         queue-jump 10% of messages
+    crash:rank=2:step=5   rank 2 dies at its 5th send operation
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..obs import counter
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "MessageVerdict",
+    "parse_fault_spec",
+]
+
+_KINDS = ("drop", "delay", "dup", "reorder", "crash")
+
+_DEFAULT_DELAY_S = 0.02
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault clause of an injection spec."""
+
+    kind: str
+    probability: float = 0.0
+    delay_s: float = _DEFAULT_DELAY_S
+    rank: int = -1
+    step: int = -1
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{_KINDS}"
+            )
+        if self.kind == "crash":
+            if self.rank < 0 or self.step < 1:
+                raise ValueError(
+                    "crash faults need rank=R (>=0) and step=K (>=1), "
+                    f"got rank={self.rank} step={self.step}"
+                )
+        else:
+            if not 0.0 <= self.probability <= 1.0:
+                raise ValueError(
+                    f"{self.kind} probability must be in [0, 1], got "
+                    f"{self.probability}"
+                )
+        if self.delay_s < 0:
+            raise ValueError(f"negative delay {self.delay_s}")
+
+
+def parse_fault_spec(text: str) -> List[FaultSpec]:
+    """Parse a ``--inject-faults`` spec string (see module grammar)."""
+    specs: List[FaultSpec] = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, rest = clause.partition(":")
+        kind = kind.strip()
+        kwargs: Dict[str, float] = {}
+        if rest:
+            for pair in rest.split(":"):
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"malformed fault clause {clause!r}: expected "
+                        f"KEY=VALUE, got {pair!r}"
+                    )
+                key = key.strip()
+                try:
+                    num = float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"fault clause {clause!r}: non-numeric value "
+                        f"{value!r}"
+                    ) from None
+                if key == "p":
+                    kwargs["probability"] = num
+                elif key == "s":
+                    kwargs["delay_s"] = num
+                elif key == "ms":
+                    kwargs["delay_s"] = num * 1e-3
+                elif key == "rank":
+                    kwargs["rank"] = int(num)
+                elif key == "step":
+                    kwargs["step"] = int(num)
+                else:
+                    raise ValueError(
+                        f"fault clause {clause!r}: unknown key {key!r}"
+                    )
+        specs.append(FaultSpec(kind=kind, **kwargs))
+    if not specs:
+        raise ValueError(f"empty fault spec {text!r}")
+    return specs
+
+
+@dataclass(frozen=True)
+class MessageVerdict:
+    """The injector's decision for one data-plane message."""
+
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    delay_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.duplicate or self.reorder
+                    or self.delay_s > 0.0)
+
+
+_CLEAN = MessageVerdict()
+
+
+def _hash_fraction(seed: int, kind: str, stream: Tuple[int, int, int],
+                   index: int) -> float:
+    """Uniform [0, 1) value keyed on (seed, kind, message identity)."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(struct.pack(">q", seed))
+    h.update(kind.encode())
+    h.update(struct.pack(">qqqq", *stream, index))
+    return int.from_bytes(h.digest(), "big") / 2.0 ** 64
+
+
+class FaultInjector:
+    """Seeded, deterministic fault oracle for one simulated world.
+
+    Thread-safe; decisions depend only on ``(seed, source, dest, tag,
+    per-stream message index)``, never on wall clock or thread order.
+    """
+
+    def __init__(self, specs: "Sequence[FaultSpec] | str",
+                 seed: int = 0):
+        if isinstance(specs, str):
+            specs = parse_fault_spec(specs)
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._stream_index: Dict[Tuple[int, int, int], int] = {}
+        self._ops_by_rank: Dict[int, int] = {}
+        self.counts: Dict[str, int] = {k: 0 for k in _KINDS}
+        self._crashes = [s for s in self.specs if s.kind == "crash"]
+
+    def reset(self) -> None:
+        """Forget all message/op history (counters included)."""
+        with self._lock:
+            self._stream_index.clear()
+            self._ops_by_rank.clear()
+            self.counts = {k: 0 for k in _KINDS}
+
+    # -- data plane ------------------------------------------------------
+    def on_message(self, source: int, dest: int,
+                   tag: int) -> MessageVerdict:
+        """Verdict for the next message on the (source, dest, tag) stream."""
+        stream = (source, dest, tag)
+        with self._lock:
+            index = self._stream_index.get(stream, 0)
+            self._stream_index[stream] = index + 1
+        drop = dup = reorder = False
+        delay_s = 0.0
+        for spec in self.specs:
+            if spec.kind == "crash" or spec.probability <= 0.0:
+                continue
+            u = _hash_fraction(self.seed, spec.kind, stream, index)
+            if u >= spec.probability:
+                continue
+            if spec.kind == "drop":
+                drop = True
+            elif spec.kind == "dup":
+                dup = True
+            elif spec.kind == "reorder":
+                reorder = True
+            elif spec.kind == "delay":
+                delay_s = max(delay_s, spec.delay_s)
+        if drop:  # a dropped message is dropped, full stop
+            dup = reorder = False
+            delay_s = 0.0
+        if not (drop or dup or reorder or delay_s):
+            return _CLEAN
+        with self._lock:
+            for kind, hit in (("drop", drop), ("dup", dup),
+                              ("reorder", reorder),
+                              ("delay", delay_s > 0.0)):
+                if hit:
+                    self.counts[kind] += 1
+        for kind, hit in (("drop", drop), ("dup", dup),
+                          ("reorder", reorder), ("delay", delay_s > 0.0)):
+            if hit:
+                counter(f"faults.{kind}", src=source, dst=dest)
+        return MessageVerdict(drop=drop, duplicate=dup, reorder=reorder,
+                              delay_s=delay_s)
+
+    # -- crash plane -----------------------------------------------------
+    def crash_due(self, rank: int) -> bool:
+        """Advance ``rank``'s operation counter; True if it dies now.
+
+        Called by the runtime once per send operation the rank
+        initiates; the Kth operation of a ``crash:rank=R:step=K`` spec
+        is the one that kills it.
+        """
+        if not self._crashes:
+            return False
+        with self._lock:
+            ops = self._ops_by_rank.get(rank, 0) + 1
+            self._ops_by_rank[rank] = ops
+            for spec in self._crashes:
+                if spec.rank == rank and ops == spec.step:
+                    self.counts["crash"] += 1
+                    counter("faults.crash", rank=rank, step=spec.step)
+                    return True
+        return False
+
+    # -- reporting -------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human summary, e.g. ``drop=3 delay=1``."""
+        hits = {k: v for k, v in self.counts.items() if v}
+        if not hits:
+            return "no faults injected"
+        return " ".join(f"{k}={v}" for k, v in sorted(hits.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        clauses = ",".join(s.kind for s in self.specs)
+        return f"FaultInjector({clauses!r}, seed={self.seed})"

@@ -34,13 +34,15 @@ class NetworkModel:
     def __init__(self, spec: NetworkSpec):
         self.spec = spec
 
-    def exchange_time_s(self, nprocs: int, bytes_per_proc: int,
-                        phases: int) -> float:
-        """Per-timestep halo-exchange time (seconds).
+    def _endpoint_fabric_s(self, nprocs: int, bytes_per_proc: int,
+                           phases: int) -> Tuple[float, float]:
+        """(endpoint_s, fabric_s) — the two candidate limits.
 
-        ``bytes_per_proc`` is one process's total send volume per step,
-        ``phases`` the number of dimension phases (latency is paid per
-        phase, not per message — messages in a phase overlap).
+        The single source of both timing formulas, shared by
+        :meth:`exchange_time_s` and :meth:`is_congested` so the model
+        cannot drift between them: endpoint = per-phase latency plus
+        the process's volume over its link; fabric = the run's total
+        in-flight volume over the bisection capacity.
         """
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -52,6 +54,19 @@ class NetworkModel:
         )
         fabric = (
             nprocs * bytes_per_proc / (self.spec.bisection_GBs * 1e9)
+        )
+        return endpoint, fabric
+
+    def exchange_time_s(self, nprocs: int, bytes_per_proc: int,
+                        phases: int) -> float:
+        """Per-timestep halo-exchange time (seconds).
+
+        ``bytes_per_proc`` is one process's total send volume per step,
+        ``phases`` the number of dimension phases (latency is paid per
+        phase, not per message — messages in a phase overlap).
+        """
+        endpoint, fabric = self._endpoint_fabric_s(
+            nprocs, bytes_per_proc, phases
         )
         return max(endpoint, fabric)
 
@@ -69,11 +84,9 @@ class NetworkModel:
     def is_congested(self, nprocs: int, bytes_per_proc: int,
                      phases: int) -> bool:
         """True when the bisection term dominates (fabric-limited)."""
-        endpoint = (
-            phases * self.spec.latency_us * 1e-6
-            + bytes_per_proc / (self.spec.link_bw_GBs * 1e9)
+        endpoint, fabric = self._endpoint_fabric_s(
+            nprocs, bytes_per_proc, phases
         )
-        fabric = nprocs * bytes_per_proc / (self.spec.bisection_GBs * 1e9)
         return fabric > endpoint
 
 

@@ -11,19 +11,39 @@ exactly MPI's; timing comes from the separate
 :mod:`~repro.runtime.network` model.
 
 Deadlock safety: every blocking receive carries a timeout (default
-60 s); expiry raises :class:`SimMPIError` in the offending rank and the
-run reports it instead of hanging the test suite.
+60 s); expiry raises :class:`SimMPITimeout` in the offending rank and
+the run reports it instead of hanging the test suite.  Timeouts are
+tracked against a monotonic-clock deadline and waits are event-driven
+(condition variables, no polling interval), so heavy ``notify_all``
+traffic neither shrinks nor stretches a rank's deadline.
+
+Fault injection: a :class:`~repro.runtime.faults.FaultInjector` may be
+attached to a world (``run_ranks(..., faults=...)``); it then vets
+every data-plane message for drop/delay/duplication/reordering and can
+crash a rank at a chosen operation.  Messages sent with
+``reliable=True`` (the exchanger's ACKs, collective payloads) bypass
+message faults but nothing escapes a crashed rank.
 """
 
 from __future__ import annotations
 
+import copy
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SimMPIError", "Request", "Communicator", "CartComm", "run_ranks"]
+__all__ = [
+    "SimMPIError",
+    "SimMPITimeout",
+    "RankCrashedError",
+    "Request",
+    "Communicator",
+    "CartComm",
+    "run_ranks",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -35,10 +55,23 @@ class SimMPIError(RuntimeError):
     """A communication error in the simulated MPI runtime."""
 
 
+class SimMPITimeout(SimMPIError):
+    """No matching message arrived within the deadline.
+
+    The only *retryable* failure: pollers (``Request.Test``, the
+    resilient exchanger) treat it as "not ready yet"; every other
+    :class:`SimMPIError` is terminal and must propagate.
+    """
+
+
+class RankCrashedError(SimMPIError):
+    """An injected fault killed this rank (see ``runtime.faults``)."""
+
+
 class _World:
     """Shared state of one simulated MPI world."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, injector=None):
         self.size = size
         self.lock = threading.Condition()
         # mailbox per destination: deque of (source, tag, ndarray copy)
@@ -47,23 +80,71 @@ class _World:
         self.bcast_slots: Dict[int, Any] = {}
         self.reduce_slots: Dict[str, list] = {}
         self.failed = threading.Event()
+        self.injector = injector
+        self.crashed: set = set()
+        #: delivery generation — bumped on every mailbox change so
+        #: waiters can detect activity without polling
+        self.events = 0
         # traffic accounting (bytes by (src, dst))
         self.traffic: Dict[Tuple[int, int], int] = {}
 
-    def post(self, source: int, dest: int, tag: int,
-             data: np.ndarray) -> None:
+    def _deliver(self, source: int, dest: int, tag: int,
+                 data: np.ndarray, front: bool = False) -> None:
         with self.lock:
-            self.mail[dest].append((source, tag, data))
+            if front:
+                self.mail[dest].appendleft((source, tag, data))
+            else:
+                self.mail[dest].append((source, tag, data))
             key = (source, dest)
             self.traffic[key] = self.traffic.get(key, 0) + data.nbytes
+            self.events += 1
             self.lock.notify_all()
+
+    def mark_crashed(self, rank: int) -> None:
+        """Record an injected rank death and wake every waiter."""
+        with self.lock:
+            self.crashed.add(rank)
+            self.failed.set()
+            self.events += 1
+            self.lock.notify_all()
+        self.barrier.abort()
+
+    def post(self, source: int, dest: int, tag: int,
+             data: np.ndarray, reliable: bool = False) -> None:
+        inj = self.injector
+        if inj is not None:
+            if inj.crash_due(source):
+                self.mark_crashed(source)
+                raise RankCrashedError(
+                    f"rank {source} crashed (injected fault)"
+                )
+            if not reliable:
+                verdict = inj.on_message(source, dest, tag)
+                if verdict.drop:
+                    return
+                copies = 2 if verdict.duplicate else 1
+                if verdict.delay_s > 0.0:
+                    for _ in range(copies):
+                        timer = threading.Timer(
+                            verdict.delay_s, self._deliver,
+                            args=(source, dest, tag, data),
+                            kwargs={"front": verdict.reorder},
+                        )
+                        timer.daemon = True
+                        timer.start()
+                    return
+                for _ in range(copies):
+                    self._deliver(source, dest, tag, data,
+                                  front=verdict.reorder)
+                return
+        self._deliver(source, dest, tag, data)
 
     def take(self, dest: int, source: int, tag: int,
              timeout: float) -> Tuple[int, int, np.ndarray]:
-        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self.lock:
-            waited = 0.0
-            step = 0.05
             while True:
                 box = self.mail[dest]
                 for idx, (src, tg, data) in enumerate(box):
@@ -71,18 +152,27 @@ class _World:
                             and tag in (ANY_TAG, tg)):
                         del box[idx]
                         return src, tg, data
+                if self.crashed:
+                    names = ",".join(str(r) for r in sorted(self.crashed))
+                    raise SimMPIError(
+                        f"rank {dest}: peer rank {names} crashed while "
+                        f"waiting for a message from {source} tag {tag}"
+                    )
                 if self.failed.is_set():
                     raise SimMPIError(
                         f"rank {dest}: peer failed while waiting for a "
                         f"message from {source} tag {tag}"
                     )
-                if waited >= deadline:
-                    raise SimMPIError(
+                if deadline is None:
+                    self.lock.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SimMPITimeout(
                         f"rank {dest}: timeout waiting for message from "
                         f"{source} tag {tag} (likely deadlock)"
                     )
-                self.lock.wait(step)
-                waited += step
+                self.lock.wait(remaining)
 
 
 class Request:
@@ -103,12 +193,19 @@ class Request:
     wait = Wait
 
     def Test(self) -> bool:
+        """Poll for completion without blocking.
+
+        Only the zero-timeout "no matching message yet" case
+        (:class:`SimMPITimeout`) reads as not-done; terminal errors — a
+        crashed peer, message truncation — re-raise so the caller never
+        spins on an operation that can no longer complete.
+        """
         if self._done:
             return True
         try:
             self._value = self._fn(0.0)
             self._done = True
-        except SimMPIError:
+        except SimMPITimeout:
             return False
         return True
 
@@ -117,8 +214,14 @@ class Request:
     @staticmethod
     def Waitall(requests: Sequence["Request"],
                 timeout: float = _DEFAULT_TIMEOUT) -> None:
+        """Wait for all requests against one *shared* deadline.
+
+        ``timeout`` bounds the whole batch, not each request — N stuck
+        requests fail after ``timeout``, not ``N * timeout``.
+        """
+        deadline = time.monotonic() + timeout
         for req in requests:
-            req.Wait(timeout)
+            req.Wait(max(0.0, deadline - time.monotonic()))
 
 
 class Communicator:
@@ -136,6 +239,11 @@ class Communicator:
     def Get_size(self) -> int:
         return self.size
 
+    @property
+    def faults_active(self) -> bool:
+        """True when a fault injector is attached to this world."""
+        return self._world.injector is not None
+
     # -- point to point ----------------------------------------------------------
     def _check_peer(self, peer: int) -> None:
         if not 0 <= peer < self.size:
@@ -144,11 +252,17 @@ class Communicator:
                 f"(world size {self.size})"
             )
 
-    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
-        """Buffered send: the payload is copied at send time."""
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0,
+             reliable: bool = False) -> None:
+        """Buffered send: the payload is copied at send time.
+
+        ``reliable=True`` marks a control-plane message (exchanger ACKs,
+        collective payloads) that injected message faults must not
+        touch; a crashed rank still cannot send it.
+        """
         self._check_peer(dest)
         data = np.ascontiguousarray(buf).copy()
-        self._world.post(self.rank, dest, tag, data)
+        self._world.post(self.rank, dest, tag, data, reliable=reliable)
 
     def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE,
              tag: int = ANY_TAG,
@@ -172,9 +286,10 @@ class Communicator:
         flat[: data.size] = data.reshape(-1)
         return src, tg, data.size
 
-    def Isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
+    def Isend(self, buf: np.ndarray, dest: int, tag: int = 0,
+              reliable: bool = False) -> Request:
         """Nonblocking send (buffered: completes immediately)."""
-        self.Send(buf, dest, tag)
+        self.Send(buf, dest, tag, reliable=reliable)
         return Request(done=True)
 
     def Irecv(self, buf: np.ndarray, source: int = ANY_SOURCE,
@@ -203,20 +318,25 @@ class Communicator:
             ) from None
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Generic-object broadcast."""
+        """Generic-object broadcast.
+
+        Non-root ranks receive a **deep copy**, exactly as real MPI
+        deserialises a fresh object per rank — one rank mutating its
+        result can never corrupt the others.
+        """
         world = self._world
         with world.lock:
             if self.rank == root:
                 world.bcast_slots[root] = obj
                 world.lock.notify_all()
             else:
-                waited = 0.0
+                deadline = time.monotonic() + _DEFAULT_TIMEOUT
                 while root not in world.bcast_slots:
-                    world.lock.wait(0.05)
-                    waited += 0.05
-                    if waited > _DEFAULT_TIMEOUT:
-                        raise SimMPIError("bcast timeout")
-                obj = world.bcast_slots[root]
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise SimMPITimeout("bcast timeout")
+                    world.lock.wait(remaining)
+                obj = copy.deepcopy(world.bcast_slots[root])
         self.Barrier()
         if self.rank == root:
             with world.lock:
@@ -257,16 +377,45 @@ class Communicator:
                 )
                 out[src] = data.item(0)
             return out
-        # objects ride the numpy mailbox inside 1-element object arrays
+        # objects ride the numpy mailbox inside 1-element object arrays;
+        # collectives travel the reliable channel (only point-to-point
+        # halo traffic is subject to message faults)
         box = np.empty(1, dtype=object)
         box[0] = obj
-        self._world.post(self.rank, root, tag, box)
+        self._world.post(self.rank, root, tag, box, reliable=True)
         return None
 
     # -- topology -----------------------------------------------------------------
     def Create_cart(self, dims: Sequence[int],
                     periods: Optional[Sequence[bool]] = None) -> "CartComm":
         return CartComm(self._world, self.rank, tuple(dims), periods)
+
+    # -- progress -----------------------------------------------------------------
+    def activity(self) -> int:
+        """Current delivery generation (see :meth:`wait_for_activity`)."""
+        with self._world.lock:
+            return self._world.events
+
+    def wait_for_activity(self, timeout: float,
+                          seen: Optional[int] = None) -> int:
+        """Block until the world delivers something, or ``timeout``.
+
+        ``seen`` is a generation returned by :meth:`activity`; if
+        anything was delivered since that snapshot the call returns
+        immediately, closing the check-then-wait race without a polling
+        loop.  Returns the new generation.
+        """
+        world = self._world
+        deadline = time.monotonic() + timeout
+        with world.lock:
+            while seen is None or world.events == seen:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                world.lock.wait(remaining)
+                if seen is None:
+                    break
+            return world.events
 
     # -- accounting ----------------------------------------------------------------
     def traffic_bytes(self) -> int:
@@ -335,18 +484,40 @@ class CartComm(Communicator):
         return neighbour(-disp), neighbour(+disp)
 
 
+def _error_severity(exc: BaseException) -> int:
+    """Root-cause ordering: app errors, then injected crashes, then
+    other comm errors, then timeouts (which are usually consequences)."""
+    if not isinstance(exc, SimMPIError):
+        return 0
+    if isinstance(exc, RankCrashedError):
+        return 1
+    if not isinstance(exc, SimMPITimeout):
+        return 2
+    return 3
+
+
 def run_ranks(nprocs: int, main: Callable[[Communicator], Any],
               cart_dims: Optional[Sequence[int]] = None,
               periods: Optional[Sequence[bool]] = None,
-              timeout: float = 120.0) -> List[Any]:
+              timeout: float = 120.0, faults=None) -> List[Any]:
     """Run ``main(comm)`` on ``nprocs`` simulated ranks; return results.
 
     This is the ``mpiexec -n`` of the simulated runtime.  If any rank
-    raises, the first exception is re-raised after all threads stop.
+    raises, the root-cause exception is re-raised after all threads
+    stop, with per-rank diagnostics when several ranks failed.
+
+    ``faults`` attaches a fault injector to the world: a
+    :class:`~repro.runtime.faults.FaultInjector`, a spec string such as
+    ``"drop:p=0.2"``, or a sequence of ``FaultSpec``.
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
-    world = _World(nprocs)
+    injector = faults
+    if faults is not None and not hasattr(faults, "on_message"):
+        from .faults import FaultInjector
+
+        injector = FaultInjector(faults)
+    world = _World(nprocs, injector=injector)
     results: List[Any] = [None] * nprocs
     errors: List[Tuple[int, BaseException]] = []
 
@@ -377,8 +548,16 @@ def run_ranks(nprocs: int, main: Callable[[Communicator], Any],
             )
     if errors:
         # prefer the root cause: secondary SimMPIErrors (broken barriers,
-        # peer-failure aborts) are consequences, not causes
-        primary = [e for e in errors if not isinstance(e[1], SimMPIError)]
-        rank, exc = sorted(primary or errors, key=lambda e: e[0])[0]
-        raise SimMPIError(f"rank {rank} failed: {exc!r}") from exc
+        # peer-failure aborts, timeouts) are consequences, not causes
+        rank, exc = min(
+            errors, key=lambda e: (_error_severity(e[1]), e[0])
+        )
+        message = f"rank {rank} failed: {exc!r}"
+        if len(errors) > 1:
+            lines = "\n".join(
+                f"  rank {r}: {type(e).__name__}: {e}"
+                for r, e in sorted(errors, key=lambda item: item[0])
+            )
+            message += f"\nper-rank diagnostics:\n{lines}"
+        raise SimMPIError(message) from exc
     return results

@@ -115,6 +115,52 @@ class TestSimulateAndReport:
     def test_simulate_unknown_benchmark(self, capsys):
         assert main(["simulate", "5d_monster"]) == 1
 
+    def test_simulate_with_injected_drops(self, capsys):
+        assert main([
+            "simulate", "2d9pt_box", "--machine", "cpu",
+            "--inject-faults", "drop:p=0.2", "--fault-seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "injected faults (seed 7)" in out
+        assert "drop=" in out
+
+    def test_simulate_with_injected_crash_fails(self, capsys):
+        assert main([
+            "simulate", "2d9pt_box", "--machine", "cpu",
+            "--inject-faults", "crash:rank=1:step=4",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED under injected faults" in out
+        assert "rank 1 crashed" in out
+
+    def test_simulate_bad_fault_spec(self, capsys):
+        assert main([
+            "simulate", "2d9pt_box", "--machine", "cpu",
+            "--inject-faults", "jitter:p=0.5",
+        ]) == 1
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_simulate_faults_ignored_with_skip_pipeline(self, capsys):
+        assert main([
+            "simulate", "2d9pt_box", "--machine", "cpu",
+            "--skip-pipeline", "--inject-faults", "drop:p=0.5",
+        ]) == 0
+        assert "no effect" in capsys.readouterr().err
+
+    def test_simulate_faulty_trace_records_retries(self, tmp_path,
+                                                   capsys):
+        path = tmp_path / "faulty.json"
+        assert main([
+            "simulate", "2d9pt_box", "--machine", "cpu",
+            "--inject-faults", "drop:p=0.25", "--fault-seed", "7",
+            "--trace", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "retries:" in out
+        from repro.obs import registry
+
+        assert registry().counter_total("comm.retry") > 0
+
     def test_report_table4(self, capsys):
         assert main(["report", "table4"]) == 0
         out = capsys.readouterr().out

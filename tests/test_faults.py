@@ -1,0 +1,269 @@
+"""Fault injection and the resilient halo exchange.
+
+The seed for the end-to-end injection tests honours the
+``REPRO_FAULT_SEED`` environment variable so CI can sweep a seed
+matrix; every property here must hold for *any* seed.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.frontend import build_benchmark
+from repro.obs import capture
+from repro.runtime.executor import distributed_run
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultSpec,
+    parse_fault_spec,
+)
+from repro.runtime.simmpi import (
+    RankCrashedError,
+    SimMPIError,
+    SimMPITimeout,
+    run_ranks,
+)
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "7"))
+
+
+def _faulty_run(spec, seed=SEED, steps=3):
+    """One small distributed run under the given fault spec."""
+    prog, _ = build_benchmark("2d9pt_box", grid=(20, 20),
+                              boundary="periodic")
+    rng = np.random.default_rng(0)
+    init = [rng.random((20, 20)) for _ in range(2)]
+    injector = FaultInjector(spec, seed=seed) if spec else None
+    result = distributed_run(prog.ir, init, steps, (2, 2),
+                             boundary="periodic", faults=injector)
+    return result, injector
+
+
+class TestSpecParsing:
+    def test_all_kinds(self):
+        specs = parse_fault_spec(
+            "drop:p=0.2,delay:p=0.1:ms=5,dup:p=0.05,reorder:p=0.1,"
+            "crash:rank=2:step=3"
+        )
+        kinds = [s.kind for s in specs]
+        assert kinds == ["drop", "delay", "dup", "reorder", "crash"]
+        assert specs[0].probability == 0.2
+        assert specs[1].delay_s == pytest.approx(5e-3)
+        assert specs[4].rank == 2 and specs[4].step == 3
+
+    def test_delay_seconds_key(self):
+        (spec,) = parse_fault_spec("delay:p=1:s=0.5")
+        assert spec.delay_s == 0.5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault_spec("jitter:p=0.5")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            parse_fault_spec("drop:q=0.5")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            parse_fault_spec("drop:p")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty fault spec"):
+            parse_fault_spec(" , ")
+
+    def test_probability_range_checked(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(kind="drop", probability=1.5)
+
+    def test_crash_needs_rank_and_step(self):
+        with pytest.raises(ValueError, match="crash faults need"):
+            parse_fault_spec("crash:rank=1")
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdicts(self):
+        a = FaultInjector("drop:p=0.3,dup:p=0.2", seed=SEED)
+        b = FaultInjector("drop:p=0.3,dup:p=0.2", seed=SEED)
+        va = [a.on_message(0, 1, t % 5) for t in range(500)]
+        vb = [b.on_message(0, 1, t % 5) for t in range(500)]
+        assert va == vb
+        assert a.counts == b.counts
+
+    def test_different_seed_differs(self):
+        a = FaultInjector("drop:p=0.3", seed=SEED)
+        b = FaultInjector("drop:p=0.3", seed=SEED + 1)
+        va = [a.on_message(0, 1, 0).drop for _ in range(200)]
+        vb = [b.on_message(0, 1, 0).drop for _ in range(200)]
+        assert va != vb
+
+    def test_thread_interleaving_irrelevant(self):
+        """Verdicts are keyed on message identity, not call order."""
+        seq = FaultInjector("drop:p=0.4", seed=SEED)
+        mix = FaultInjector("drop:p=0.4", seed=SEED)
+        stream_a = [seq.on_message(0, 1, 7) for _ in range(50)]
+        stream_b = [seq.on_message(2, 3, 9) for _ in range(50)]
+        mixed_a, mixed_b = [], []
+        for _ in range(50):  # interleave the two streams
+            mixed_b.append(mix.on_message(2, 3, 9))
+            mixed_a.append(mix.on_message(0, 1, 7))
+        assert stream_a == mixed_a
+        assert stream_b == mixed_b
+
+    def test_crash_due_fires_exactly_once_at_step(self):
+        inj = FaultInjector("crash:rank=1:step=3", seed=SEED)
+        assert [inj.crash_due(1) for _ in range(5)] == [
+            False, False, True, False, False
+        ]
+        assert not any(inj.crash_due(0) for _ in range(10))
+
+    def test_reset_replays_identically(self):
+        inj = FaultInjector("drop:p=0.3", seed=SEED)
+        first = [inj.on_message(0, 1, 0) for _ in range(100)]
+        inj.reset()
+        again = [inj.on_message(0, 1, 0) for _ in range(100)]
+        assert first == again
+
+
+class TestResilientExchange:
+    def test_drop_then_retry_matches_fault_free(self):
+        clean, _ = _faulty_run(None)
+        faulty, inj = _faulty_run("drop:p=0.2")
+        assert inj.counts["drop"] > 0, "spec never fired — test is vacuous"
+        np.testing.assert_array_equal(clean, faulty)
+
+    def test_dup_delay_reorder_matches_fault_free(self):
+        clean, _ = _faulty_run(None)
+        faulty, inj = _faulty_run(
+            "dup:p=0.2,reorder:p=0.2,delay:p=0.15:ms=5"
+        )
+        assert sum(inj.counts.values()) > 0
+        np.testing.assert_array_equal(clean, faulty)
+
+    def test_faulty_runs_are_reproducible(self):
+        # results are bitwise reproducible; exact fault *counts* may
+        # differ between runs because retransmissions are themselves
+        # subject to injection and their number depends on retry timing
+        # (per-message verdicts are deterministic — see TestDeterminism)
+        a, inj_a = _faulty_run("drop:p=0.2,dup:p=0.1")
+        b, inj_b = _faulty_run("drop:p=0.2,dup:p=0.1")
+        np.testing.assert_array_equal(a, b)
+        assert inj_a.counts["drop"] > 0
+        assert inj_b.counts["drop"] > 0
+
+    def test_injector_attached_but_silent_is_exact(self):
+        """p=0 engages the ACK protocol without any faults."""
+        clean, _ = _faulty_run(None)
+        silent, inj = _faulty_run("drop:p=0.0")
+        assert sum(inj.counts.values()) == 0
+        np.testing.assert_array_equal(clean, silent)
+
+    def test_retry_counters_nonzero_faulty_zero_clean(self):
+        with capture() as (_, reg):
+            _faulty_run("drop:p=0.25")
+        assert reg.counter_total("comm.retry") > 0
+        assert reg.counter_total("faults.drop") > 0
+        with capture() as (_, reg):
+            _faulty_run(None)
+        assert reg.counter_total("comm.retry") == 0
+
+    def test_crash_surfaces_named_rank_quickly(self):
+        start = time.monotonic()
+        with pytest.raises(SimMPIError, match="rank 2 crashed"):
+            _faulty_run("crash:rank=2:step=5")
+        assert time.monotonic() - start < 30.0, "crash must not hang"
+
+    def test_retries_exhausted_is_an_error(self):
+        """A fabric that drops everything cannot be retried around."""
+        from repro.comm.exchange import AsyncHaloExchanger
+        from repro.comm.halo import HaloSpec
+
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = AsyncHaloExchanger(comm, spec, retry_timeout=0.05,
+                                    max_retries=2, op_timeout=5.0)
+            plane = np.full(spec.padded_shape, float(comm.rank))
+            ex.exchange(plane)
+
+        with pytest.raises(SimMPIError, match="unacknowledged|crashed"):
+            run_ranks(4, main, cart_dims=(2, 2), periods=(True, True),
+                      faults="drop:p=1.0")
+
+
+class TestWorldFaultPlumbing:
+    def test_run_ranks_accepts_spec_string(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.ones(1), dest=1)
+                return None
+            buf = np.zeros(1)
+            with pytest.raises(SimMPITimeout):
+                comm.Recv(buf, source=0, timeout=0.2)
+            return True
+
+        assert run_ranks(2, main, faults="drop:p=1.0")[1] is True
+
+    def test_reliable_sends_bypass_message_faults(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.ones(1), dest=1, reliable=True)
+                return None
+            buf = np.zeros(1)
+            comm.Recv(buf, source=0, timeout=2.0)
+            return buf[0]
+
+        assert run_ranks(2, main, faults="drop:p=1.0")[1] == 1.0
+
+    def test_collectives_survive_total_drop(self):
+        def main(comm):
+            return comm.gather(comm.rank, root=0)
+
+        res = run_ranks(3, main, faults="drop:p=1.0")
+        assert res[0] == [0, 1, 2]
+
+    def test_duplicate_delivers_twice(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([5.0]), dest=1)
+                return None
+            buf = np.zeros(1)
+            comm.Recv(buf, source=0, timeout=2.0)
+            comm.Recv(buf, source=0, timeout=2.0)  # the duplicate
+            return buf[0]
+
+        assert run_ranks(2, main, faults="dup:p=1.0")[1] == 5.0
+
+    def test_crashed_rank_cannot_send_reliable(self):
+        def main(comm):
+            if comm.rank == 0:
+                for _ in range(3):
+                    comm.Send(np.ones(1), dest=1, reliable=True)
+                return None
+            buf = np.zeros(1)
+            for _ in range(3):
+                comm.Recv(buf, source=0, timeout=5.0)
+            return True
+
+        with pytest.raises(SimMPIError, match="rank 0 crashed"):
+            run_ranks(2, main, faults="crash:rank=0:step=2")
+
+    def test_injected_crash_is_rank_crashed_error(self):
+        seen = {}
+
+        def main(comm):
+            try:
+                comm.Send(np.ones(1), dest=(comm.rank + 1) % 2)
+            except RankCrashedError as exc:
+                seen["exc"] = exc
+                raise
+
+        with pytest.raises(SimMPIError, match="rank 1 crashed"):
+            run_ranks(2, main, faults="crash:rank=1:step=1")
+        assert isinstance(seen["exc"], RankCrashedError)
+
+    def test_summary_lists_hits(self):
+        inj = FaultInjector("drop:p=1.0", seed=SEED)
+        assert inj.summary() == "no faults injected"
+        inj.on_message(0, 1, 0)
+        assert inj.summary() == "drop=1"

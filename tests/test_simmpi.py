@@ -1,5 +1,7 @@
 """Tests for the simulated MPI runtime."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,7 @@ from repro.runtime.simmpi import (
     CartComm,
     Request,
     SimMPIError,
+    SimMPITimeout,
     run_ranks,
 )
 
@@ -262,6 +265,122 @@ class TestFailurePropagation:
 
         res = run_ranks(2, main)
         assert res[0] == res[1] == 800
+
+
+class TestRegressionBugfixes:
+    """Regressions for the comm-layer bugfix sweep (ISSUE 2)."""
+
+    def test_test_raises_on_peer_crash(self):
+        """``Test()`` must re-raise terminal errors, not report
+        'not ready' and let the caller spin until the outer timeout."""
+        outcome = {}
+
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            buf = np.zeros(1)
+            req = comm.Irecv(buf, source=1)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    if req.Test():
+                        outcome["result"] = "completed"
+                        return
+                except SimMPIError:
+                    outcome["result"] = "raised"
+                    return
+                time.sleep(0.005)
+            outcome["result"] = "spun until timeout"
+
+        with pytest.raises(SimMPIError, match="rank 1 failed"):
+            run_ranks(2, main)
+        assert outcome["result"] == "raised"
+
+    def test_timeout_survives_notify_storm(self):
+        """Deadlines are monotonic-clock based: a flood of unrelated
+        deliveries (each a ``notify_all``) must not shrink them."""
+        elapsed = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.zeros(1)
+                start = time.monotonic()
+                try:
+                    comm.Recv(buf, source=1, tag=9, timeout=0.6)
+                finally:
+                    elapsed["s"] = time.monotonic() - start
+                return None
+            # storm rank 0 with non-matching traffic for ~0.8 s
+            payload = np.zeros(1)
+            stop = time.monotonic() + 0.8
+            while time.monotonic() < stop:
+                comm.Send(payload, dest=0, tag=1)
+                time.sleep(0.002)
+            return None
+
+        with pytest.raises(SimMPIError):
+            run_ranks(2, main)
+        assert elapsed["s"] >= 0.5, (
+            f"deadline shrank to {elapsed['s']:.3f}s under notify load"
+        )
+
+    def test_recv_timeout_is_timeout_subclass(self):
+        seen = {}
+
+        def main(comm):
+            buf = np.zeros(1)
+            try:
+                comm.Recv(buf, source=(comm.rank + 1) % 2, timeout=0.2)
+            except SimMPIError as exc:
+                seen.setdefault(comm.rank, exc)
+                raise
+
+        with pytest.raises(SimMPIError):
+            run_ranks(2, main)
+        assert any(
+            isinstance(e, SimMPITimeout) for e in seen.values()
+        )
+
+    def test_bcast_hands_out_isolated_copies(self):
+        """One rank mutating its bcast result must not corrupt the
+        object the other ranks received."""
+
+        def main(comm):
+            payload = {"grid": [1, 2]} if comm.rank == 0 else None
+            obj = comm.bcast(payload, root=0)
+            if comm.rank == 1:
+                obj["grid"].append(99)
+            comm.Barrier()
+            return obj["grid"]
+
+        res = run_ranks(3, main)
+        assert res[1] == [1, 2, 99]
+        assert res[0] == [1, 2]
+        assert res[2] == [1, 2]
+
+    def test_waitall_charges_one_shared_deadline(self):
+        """N stuck requests fail after ~timeout, not N * timeout."""
+
+        def main(comm):
+            if comm.rank != 0:
+                return None
+            bufs = [np.zeros(1) for _ in range(4)]
+            reqs = [
+                comm.Irecv(buf, source=1, tag=i)
+                for i, buf in enumerate(bufs)
+            ]
+            start = time.monotonic()
+            try:
+                Request.Waitall(reqs, timeout=0.4)
+            except SimMPITimeout:
+                return time.monotonic() - start
+            return -1.0
+
+        took = run_ranks(2, main)[0]
+        assert took != -1.0, "Waitall should have timed out"
+        assert 0.3 <= took < 1.2, (
+            f"4 stuck requests took {took:.2f}s — deadline not shared"
+        )
 
 
 class TestStressAndDeterminism:
