@@ -1,0 +1,50 @@
+"""``repro.analysis`` — static schedule-legality analysis.
+
+A whole-program pass over (Stencil IR, Schedules, MachineSpec, MPI
+grid) that emits structured :class:`Diagnostic` records — stable codes,
+severities, offending primitives — instead of scattered
+``ScheduleError``s.  Wired into:
+
+- the ``repro check`` CLI subcommand,
+- the pre-codegen / pre-simulate / pre-run gates of
+  :class:`~repro.frontend.dsl.StencilProgram` (``--no-check`` or
+  ``check=False`` to skip),
+- the autotuner, which prunes illegal configurations before invoking
+  the performance model (counted under ``autotune.pruned_illegal``).
+
+See ``docs/ANALYSIS.md`` for the code catalogue.
+"""
+
+from .checker import (
+    SPM_UTILISATION_FLOOR,
+    binding_footprints,
+    check_config,
+    check_decomposition,
+    check_kernel_schedule,
+    check_program,
+    check_stencil_ir,
+    enforce,
+)
+from .diagnostics import (
+    DIAGNOSTIC_CODES,
+    SEVERITIES,
+    CheckReport,
+    Diagnostic,
+    DiagnosticError,
+)
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "SEVERITIES",
+    "SPM_UTILISATION_FLOOR",
+    "CheckReport",
+    "Diagnostic",
+    "DiagnosticError",
+    "binding_footprints",
+    "check_config",
+    "check_decomposition",
+    "check_kernel_schedule",
+    "check_program",
+    "check_stencil_ir",
+    "enforce",
+]

@@ -28,6 +28,7 @@ class AnnealingResult:
     iterations: int
     converged_at: int  # iteration of the last improvement
     history: List[Tuple[int, float]] = field(default_factory=list)
+    pruned: int = 0  # proposals rejected by the legality pre-check
 
     @property
     def improvement(self) -> float:
@@ -46,6 +47,7 @@ def simulated_annealing(
     t_final: float = 1e-4,
     history_stride: int = 100,
     initial_state: Optional[Tuple[int, ...]] = None,
+    prune: Optional[Callable[..., object]] = None,
 ) -> AnnealingResult:
     """Minimise ``energy`` over the product of ``axes``.
 
@@ -54,6 +56,13 @@ def simulated_annealing(
     with small probability, jump uniformly (escape valleys).
     ``initial_state`` (index per axis) overrides the random start —
     e.g. the best already-measured sample.
+
+    ``prune``, when given, receives the same per-axis values as
+    ``energy`` and returns a truthy value for *illegal* candidates
+    (e.g. the static legality analyzer's error list); pruned proposals
+    are rejected without evaluating ``energy`` and counted under the
+    ``autotune.pruned_illegal`` metric and the result's ``pruned``
+    field.
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
@@ -70,9 +79,17 @@ def simulated_annealing(
     else:
         state = tuple(rng.randrange(len(ax)) for ax in axes)
 
-    def value(st: Tuple[int, ...]) -> float:
-        return energy(*(ax[idx] for ax, idx in zip(axes, st)))
+    def values_of(st: Tuple[int, ...]) -> Tuple:
+        return tuple(ax[idx] for ax, idx in zip(axes, st))
 
+    def value(st: Tuple[int, ...]) -> float:
+        return energy(*values_of(st))
+
+    pruned = 0
+    if prune is not None and prune(*values_of(state)):
+        raise ValueError(
+            "initial_state is illegal under the supplied prune callback"
+        )
     current_e = value(state)
     initial_e = current_e
     best_state, best_e = state, current_e
@@ -103,6 +120,12 @@ def simulated_annealing(
             cand = tuple(
                 new_idx if d == axis else s for d, s in enumerate(state)
             )
+            if prune is not None and prune(*values_of(cand)):
+                pruned += 1
+                counter("autotune.pruned_illegal")
+                counter("autotune.rejected_moves")
+                temp *= alpha
+                continue
             cand_e = value(cand)
             delta = (cand_e - current_e) / scale
             if delta <= 0 or rng.random() < math.exp(
@@ -120,7 +143,7 @@ def simulated_annealing(
                 history.append((it, best_e))
             temp *= alpha
         sp.set(best_energy=best_e, initial_energy=initial_e,
-               converged_at=converged_at)
+               converged_at=converged_at, pruned=pruned)
 
     if history[-1][0] != iterations:
         history.append((iterations, best_e))
@@ -131,4 +154,5 @@ def simulated_annealing(
         iterations=iterations,
         converged_at=converged_at,
         history=history,
+        pruned=pruned,
     )

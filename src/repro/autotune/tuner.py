@@ -18,9 +18,10 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..analysis import CheckReport, check_config
 from ..ir.analysis import halo_traffic_bytes, stencil_flops_per_point
 from ..ir.stencil import Stencil
-from ..obs import gauge, observe, span
+from ..obs import counter, gauge, observe, span
 from ..machine.spec import (
     MachineSpec,
     NetworkSpec,
@@ -44,6 +45,7 @@ class TuningResult:
     model_r2: float
     annealing: AnnealingResult
     samples: int
+    pruned: int = 0  # illegal points rejected by the static checker
 
     @property
     def improvement(self) -> float:
@@ -159,6 +161,19 @@ class AutoTuner:
         mpi_setup = 2e-6
         return kernel_time + comm + pack + mpi_setup
 
+    # -- static legality ---------------------------------------------------------
+    def check_config(self, config: TuningConfig) -> CheckReport:
+        """Static legality of one tuning point (SPM capacity, halo vs
+        sub-domain, grid shape) via :func:`repro.analysis.check_config`.
+
+        The tuner prunes on this *before* measuring or invoking the
+        performance model, so illegal points never pollute the fit.
+        """
+        return check_config(
+            self.stencil, config.tile, config.mpi_grid,
+            self.global_shape, self.machine,
+        )
+
     # -- search space -----------------------------------------------------------
     def axes(self) -> List[List]:
         ndim = len(self.global_shape)
@@ -197,11 +212,16 @@ class AutoTuner:
         samples: List[TuningConfig] = []
         times: List[float] = []
         attempts = 0
-        with span("autotune.sample_phase", n_samples=n_samples):
+        pruned_samples = 0
+        with span("autotune.sample_phase", n_samples=n_samples) as psp:
             while len(samples) < n_samples and attempts < 50 * n_samples:
                 attempts += 1
                 values = [ax[rng.randrange(len(ax))] for ax in axes]
                 cfg = self._to_config(*values)
+                if not self.check_config(cfg).ok:
+                    pruned_samples += 1
+                    counter("autotune.pruned_illegal")
+                    continue
                 with span("autotune.sample", tile=str(cfg.tile),
                           mpi_grid=str(cfg.mpi_grid)) as ssp:
                     t = self.measure(cfg)
@@ -211,6 +231,7 @@ class AutoTuner:
                 samples.append(cfg)
                 times.append(t)
                 observe("autotune.sample_time_s", t)
+            psp.set(pruned=pruned_samples)
         if len(samples) < len(PerformanceModel.FEATURE_NAMES):
             raise RuntimeError(
                 "could not sample enough feasible configurations; the "
@@ -238,6 +259,10 @@ class AutoTuner:
                         measured_s=measured_guard)
             return predicted
 
+        def prune(*values):
+            # illegal points never reach the performance model
+            return self.check_config(self._to_config(*values)).errors
+
         # start the search from the best measured sample (keeps the
         # convergence trajectory finite and monotone from step 0)
         best_sample = samples[times.index(min(times))]
@@ -249,7 +274,7 @@ class AutoTuner:
                      if best_sample.mpi_grid in axes[-1] else 0)
         result = simulated_annealing(
             axes, energy, iterations=iterations, seed=seed,
-            initial_state=tuple(start),
+            initial_state=tuple(start), prune=prune,
         )
         with span("autotune.remeasure"):
             best_cfg = self._to_config(
@@ -258,6 +283,8 @@ class AutoTuner:
             best_time = self.measure(best_cfg)
         initial_time = sum(times) / len(times)
         gauge("autotune.best_time_s", best_time)
+        total_pruned = pruned_samples + result.pruned
+        gauge("autotune.pruned_total", total_pruned)
         return TuningResult(
             best=best_cfg,
             best_time=best_time,
@@ -265,4 +292,5 @@ class AutoTuner:
             model_r2=r2,
             annealing=result,
             samples=len(samples),
+            pruned=total_pruned,
         )

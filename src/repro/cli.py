@@ -4,6 +4,10 @@ Commands
 --------
 - ``compile FILE.msc --target {cpu,matrix,sunway} -o DIR`` — parse a
   textual MSC program and write the AOT C bundle + Makefile;
+- ``check SOURCE --machine {sunway,matrix,cpu}`` — static
+  schedule-legality analysis of a .msc file or Table-4 benchmark;
+  exits non-zero on error-severity diagnostics (``--list-codes``
+  catalogues them);
 - ``run FILE.msc --steps N`` — parse and execute (distributed when the
   program declares an MPI shape), printing a result checksum;
 - ``simulate BENCH --machine {sunway,matrix,cpu}`` — timing report for
@@ -14,10 +18,14 @@ Commands
 - ``list`` — list the Table-4 benchmarks, report names, trace
   exporters and instrumented subsystems.
 
-``run``, ``simulate``, ``tune``, ``verify`` and ``compile`` accept
-``--trace FILE [--trace-format {json,chrome,summary}]`` to record an
-execution trace through the :mod:`repro.obs` layer; ``chrome`` files
-load in ``chrome://tracing`` / Perfetto.
+``run``, ``simulate``, ``tune``, ``verify``, ``check`` and ``compile``
+accept ``--trace FILE [--trace-format {json,chrome,summary}]`` to
+record an execution trace through the :mod:`repro.obs` layer;
+``chrome`` files load in ``chrome://tracing`` / Perfetto.
+
+``compile``, ``run`` and ``simulate`` gate on the static legality
+analyzer (:mod:`repro.analysis`) — error diagnostics abort, warnings
+are logged to stderr; ``--no-check`` skips the gate.
 
 ``simulate`` additionally accepts ``--inject-faults SPEC
 [--fault-seed N]`` to run the distributed-exchange stage over a faulty
@@ -62,6 +70,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=".",
                    help="directory for the generated bundle")
     p.add_argument("--name", default=None, help="bundle name stem")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the static schedule-legality gate")
+    _add_trace_flags(p)
+
+    p = sub.add_parser("check", help="static schedule-legality analysis")
+    p.add_argument("source", nargs="?",
+                   help=".msc source file or Table-4 benchmark name")
+    p.add_argument("--machine", default=None,
+                   choices=["sunway", "matrix", "cpu"],
+                   help="machine whose constraints to check (default: "
+                        "machine-independent checks for .msc files, "
+                        "sunway for benchmark names)")
+    p.add_argument("--mpi-grid", default=None, metavar="G0,G1[,G2]",
+                   help="override the MPI process grid")
+    p.add_argument("--list-codes", action="store_true",
+                   help="list every diagnostic code and exit")
     _add_trace_flags(p)
 
     p = sub.add_parser("run", help="execute a .msc program")
@@ -74,6 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scalar", action="append", default=[],
                    metavar="NAME=VALUE",
                    help="bind a runtime scalar coefficient (repeatable)")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the static schedule-legality gate")
     _add_trace_flags(p)
 
     p = sub.add_parser("simulate", help="timing report for a benchmark")
@@ -93,6 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for deterministic fault injection "
                         "(default: 0)")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the static schedule-legality gate")
     _add_trace_flags(p)
 
     p = sub.add_parser("tune", help="auto-tune a benchmark")
@@ -130,12 +158,66 @@ def _cmd_compile(args) -> int:
     with open(args.file) as fh:
         parsed = parse_program(fh.read())
     name = args.name or parsed.stencil_name
-    code = parsed.program.compile_to_source_code(name, target=args.target)
+    code = parsed.program.compile_to_source_code(
+        name, target=args.target, check=not args.no_check
+    )
     paths = code.write_to(args.output)
     print(f"generated {len(paths)} files for target {args.target!r}:")
     for path in paths:
         print(f"  {path}")
     return 0
+
+
+def _cmd_check(args) -> int:
+    import os
+
+    from .analysis import DIAGNOSTIC_CODES, check_program
+
+    if args.list_codes:
+        print("diagnostic codes (see docs/ANALYSIS.md):")
+        for code, summary in DIAGNOSTIC_CODES.items():
+            print(f"  {code:9s} {summary}")
+        return 0
+    if not args.source:
+        print("error: a .msc file or benchmark name is required "
+              "(or --list-codes)", file=sys.stderr)
+        return 2
+
+    if os.path.exists(args.source):
+        from .frontend.lang import parse_program
+
+        with open(args.source) as fh:
+            parsed = parse_program(fh.read())
+        program = parsed.program
+        name = parsed.stencil_name
+        machine = None
+        if args.machine:
+            from .machine.spec import machine_by_name
+
+            machine = machine_by_name(args.machine)
+    else:
+        from .evalsuite.harness import build_with_schedule
+        from .machine.spec import machine_by_name
+
+        target = args.machine or "sunway"
+        program, _ = build_with_schedule(args.source, target)
+        name = args.source
+        machine = machine_by_name(target)
+
+    grid = program.mpi_grid
+    if args.mpi_grid:
+        grid = tuple(int(g) for g in args.mpi_grid.split(","))
+    report = check_program(
+        program.ir, program.schedules(), machine=machine, mpi_grid=grid
+    )
+    label = machine.name if machine else "any machine"
+    if len(report):
+        print(report.format())
+    if report.ok:
+        print(f"{name}: schedule is legal on {label}")
+        return 0
+    print(f"{name}: schedule is ILLEGAL on {label}")
+    return 1
 
 
 def _cmd_run(args) -> int:
@@ -169,7 +251,7 @@ def _cmd_run(args) -> int:
     )
     print(f"running {parsed.stencil_name!r}: grid {tensor.shape}, "
           f"{args.steps} steps, {mode}")
-    result = program.run(timesteps=args.steps)
+    result = program.run(timesteps=args.steps, check=not args.no_check)
     print(f"result: mean={result.mean():.6e} "
           f"l2={np.linalg.norm(result):.6e}")
     if args.out:
@@ -218,9 +300,11 @@ def _cmd_simulate(args) -> int:
     dtype = f32 if args.precision == "fp32" else f64
     target = args.machine if args.machine != "cpu" else "cpu"
     prog, handle = build_with_schedule(args.benchmark, target, dtype)
+    check = not args.no_check
     if not args.skip_pipeline:
-        _simulate_codegen_stage(args.benchmark, prog, target)
-    report = prog.simulate(args.machine, timesteps=args.timesteps)
+        _simulate_codegen_stage(args.benchmark, prog, target, check=check)
+    report = prog.simulate(args.machine, timesteps=args.timesteps,
+                           check=check)
     print(f"{args.benchmark} on {report.machine} ({report.precision}):")
     print(f"  per-step: {report.step_s * 1e3:.3f} ms "
           f"(memory {report.memory_s * 1e3:.3f} ms, "
@@ -239,10 +323,12 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _simulate_codegen_stage(benchmark: str, prog, target: str) -> None:
+def _simulate_codegen_stage(benchmark: str, prog, target: str,
+                            check: bool = True) -> None:
     """AOT-generate the target bundle (the paper's full DSL→code flow)."""
     try:
-        code = prog.compile_to_source_code(benchmark, target=target)
+        code = prog.compile_to_source_code(benchmark, target=target,
+                                           check=check)
     except Exception as exc:  # noqa: BLE001 - report, don't abort timing
         print(f"codegen [{target}]: skipped ({exc})")
         return
@@ -327,6 +413,8 @@ def _cmd_tune(args) -> int:
     print(f"  step time {result.best_time * 1e3:.3f} ms, "
           f"improvement {result.improvement:.2f}x, "
           f"R^2 {result.model_r2:.3f}")
+    print(f"  pruned {result.pruned} illegal points before the "
+          "performance model")
     return 0
 
 
@@ -441,6 +529,7 @@ def _cmd_list(_args) -> int:
 
 _COMMANDS = {
     "compile": _cmd_compile,
+    "check": _cmd_check,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "tune": _cmd_tune,

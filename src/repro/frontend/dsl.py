@@ -248,6 +248,37 @@ class StencilProgram:
             scheds.setdefault(kern.name, Schedule(kern))
         return scheds
 
+    # -- static analysis ---------------------------------------------------------
+    def check(self, machine=None):
+        """Statically analyze the program's schedules.
+
+        ``machine`` is a MachineSpec, a machine name (``sunway`` /
+        ``matrix`` / ``cpu``), or None for the machine-independent
+        checks only.  Returns a
+        :class:`~repro.analysis.diagnostics.CheckReport`.
+        """
+        from ..analysis import check_program
+
+        spec = self._machine_spec(machine)
+        return check_program(
+            self.ir, self.schedules(), machine=spec,
+            mpi_grid=self.mpi_grid,
+        )
+
+    @staticmethod
+    def _machine_spec(machine):
+        if machine is None or not isinstance(machine, str):
+            return machine
+        from ..machine.spec import machine_by_name
+
+        return machine_by_name(machine)
+
+    def _gate(self, machine, where: str) -> None:
+        """Pre-codegen/pre-run gate: log warnings, raise on errors."""
+        from ..analysis import enforce
+
+        enforce(self.check(machine), where=where)
+
     # -- configuration -----------------------------------------------------------
     def set_mpi_grid(self, shape: Sequence[int]) -> "StencilProgram":
         shape = tuple(int(s) for s in shape)
@@ -304,16 +335,20 @@ class StencilProgram:
             )
         return self._initial
 
-    def run(self, timesteps: int, scheduled: bool = True) -> np.ndarray:
+    def run(self, timesteps: int, scheduled: bool = True,
+            check: bool = True) -> np.ndarray:
         """Execute ``timesteps`` sweeps, returning the newest plane.
 
         With an MPI grid configured, runs distributed over the simulated
         MPI runtime (every rank in-process) and returns the gathered
         global result; otherwise runs single-node.  ``scheduled=False``
-        forces the untiled serial reference.
+        forces the untiled serial reference.  ``check=False`` skips the
+        static legality gate.
         """
         init = self._require_initial()
         if self.mpi_grid is not None and int(np.prod(self.mpi_grid)) > 1:
+            if check:
+                self._gate(None, "run")
             from ..runtime.executor import distributed_run
 
             return distributed_run(
@@ -337,11 +372,22 @@ class StencilProgram:
         return ex.run(init, timesteps)
 
     # -- code generation ------------------------------------------------------
+    #: machine whose constraints gate codegen, per backend target
+    _TARGET_MACHINES = {"cpu": "cpu", "matrix": "matrix",
+                        "sunway": "sunway", "mpi": None}
+
     def compile_to_source_code(self, name: str,
-                               target: str = "cpu"):
-        """AOT-generate the C bundle + Makefile (Listing 1 line 16)."""
+                               target: str = "cpu",
+                               check: bool = True):
+        """AOT-generate the C bundle + Makefile (Listing 1 line 16).
+
+        ``check=False`` skips the static legality gate.
+        """
         from ..backend.targets import generate
 
+        if check:
+            self._gate(self._TARGET_MACHINES.get(target),
+                       f"compile[{target}]")
         return generate(
             self.ir, self.schedules(), name, target=target,
             boundary=self.boundary,
@@ -351,11 +397,17 @@ class StencilProgram:
         )
 
     # -- simulation -----------------------------------------------------------
-    def simulate(self, machine: str = "sunway", timesteps: int = 1):
-        """Timing simulation on a named machine (sunway/matrix/cpu)."""
+    def simulate(self, machine: str = "sunway", timesteps: int = 1,
+                 check: bool = True):
+        """Timing simulation on a named machine (sunway/matrix/cpu).
+
+        ``check=False`` skips the static legality gate.
+        """
         from ..machine import simulate_cpu, simulate_matrix, simulate_sunway
         from ..machine.spec import machine_by_name
 
+        if check:
+            self._gate(machine, f"simulate[{machine}]")
         scheds = self.schedules()
         sched = scheds[self.ir.kernels[0].name]
         if machine == "sunway":

@@ -2,16 +2,21 @@
 
 Run before scheduling and code generation; collects all violations
 instead of stopping at the first so DSL users get a complete report.
+
+:func:`stencil_issues` is the collector — it returns ``(category,
+message)`` pairs so callers that need structure (the static analyzer in
+:mod:`repro.analysis`) can map categories to diagnostic codes, while
+:func:`validate_stencil` keeps the original raise-on-anything contract.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from .expr import ConstExpr
 from .stencil import Stencil
 
-__all__ = ["ValidationError", "validate_stencil"]
+__all__ = ["ValidationError", "stencil_issues", "validate_stencil"]
 
 
 class ValidationError(ValueError):
@@ -22,6 +27,85 @@ class ValidationError(ValueError):
         super().__init__(
             "invalid stencil program:\n" + "\n".join(f"- {i}" for i in issues)
         )
+
+
+def stencil_issues(stencil: Stencil) -> List[Tuple[str, str]]:
+    """Collect every IR-level problem as ``(category, message)`` pairs.
+
+    Categories: ``halo`` (radius exceeds a halo width), ``time_window``,
+    ``dimension``, ``offset``, ``future``, ``dtype``, ``degenerate``.
+    """
+    issues: List[Tuple[str, str]] = []
+    out = stencil.output
+
+    for d, (need, have) in enumerate(zip(stencil.radius, out.halo)):
+        if need > have:
+            issues.append((
+                "halo",
+                f"dimension {d}: stencil radius {need} exceeds halo width "
+                f"{have} of output {out.name!r}",
+            ))
+
+    if stencil.required_time_window > out.time_window:
+        issues.append((
+            "time_window",
+            f"stencil needs a time window of {stencil.required_time_window} "
+            f"but {out.name!r} keeps only {out.time_window} planes",
+        ))
+
+    dtypes = {out.dtype.name}
+    for kern in stencil.kernels:
+        for tensor in kern.input_tensors:
+            dtypes.add(tensor.dtype.name)
+            if tensor.ndim != out.ndim:
+                issues.append((
+                    "dimension",
+                    f"kernel {kern.name!r} reads {tensor.ndim}-D tensor "
+                    f"{tensor.name!r} but output is {out.ndim}-D",
+                ))
+                continue
+            halo = getattr(tensor, "halo", (0,) * tensor.ndim)
+            for off in kern.footprint:
+                for d, o in enumerate(off):
+                    if abs(o) > halo[d]:
+                        issues.append((
+                            "offset",
+                            f"kernel {kern.name!r} reads offset {off} of "
+                            f"{tensor.name!r} beyond its halo {halo}",
+                        ))
+                        break
+
+    if len(stencil.applications) > 1:
+        for app in stencil.applications:
+            for acc in app.kernel.accesses:
+                if acc.time_offset > 0:
+                    issues.append((
+                        "future",
+                        f"kernel {app.kernel.name!r} reads a future plane",
+                    ))
+
+    if len(dtypes) > 1:
+        issues.append((
+            "dtype",
+            f"mixed dtypes in one stencil: {sorted(dtypes)} (cast inputs "
+            "to a common type)",
+        ))
+
+    for kern in stencil.kernels:
+        if kern.npoints == 0:
+            issues.append((
+                "degenerate", f"kernel {kern.name!r} reads no tensor data"
+            ))
+        if all(
+            isinstance(n, ConstExpr)
+            for n in kern.expr.walk()
+            if not n.children()
+        ):
+            issues.append((
+                "degenerate", f"kernel {kern.name!r} is a constant expression"
+            ))
+
+    return issues
 
 
 def validate_stencil(stencil: Stencil) -> None:
@@ -36,65 +120,6 @@ def validate_stencil(stencil: Stencil) -> None:
       inside a multi-time-dependency stencil would be a race),
     - dtype consistency across the tensors of one stencil.
     """
-    issues: List[str] = []
-    out = stencil.output
-
-    for d, (need, have) in enumerate(zip(stencil.radius, out.halo)):
-        if need > have:
-            issues.append(
-                f"dimension {d}: stencil radius {need} exceeds halo width "
-                f"{have} of output {out.name!r}"
-            )
-
-    if stencil.required_time_window > out.time_window:
-        issues.append(
-            f"stencil needs a time window of {stencil.required_time_window} "
-            f"but {out.name!r} keeps only {out.time_window} planes"
-        )
-
-    dtypes = {out.dtype.name}
-    for kern in stencil.kernels:
-        for tensor in kern.input_tensors:
-            dtypes.add(tensor.dtype.name)
-            if tensor.ndim != out.ndim:
-                issues.append(
-                    f"kernel {kern.name!r} reads {tensor.ndim}-D tensor "
-                    f"{tensor.name!r} but output is {out.ndim}-D"
-                )
-                continue
-            halo = getattr(tensor, "halo", (0,) * tensor.ndim)
-            for off in kern.footprint:
-                for d, o in enumerate(off):
-                    if abs(o) > halo[d]:
-                        issues.append(
-                            f"kernel {kern.name!r} reads offset {off} of "
-                            f"{tensor.name!r} beyond its halo {halo}"
-                        )
-                        break
-
-    if len(stencil.applications) > 1:
-        for app in stencil.applications:
-            for acc in app.kernel.accesses:
-                if acc.time_offset > 0:
-                    issues.append(
-                        f"kernel {app.kernel.name!r} reads a future plane"
-                    )
-
-    if len(dtypes) > 1:
-        issues.append(
-            f"mixed dtypes in one stencil: {sorted(dtypes)} (cast inputs "
-            "to a common type)"
-        )
-
-    for kern in stencil.kernels:
-        if kern.npoints == 0:
-            issues.append(f"kernel {kern.name!r} reads no tensor data")
-        if all(
-            isinstance(n, ConstExpr)
-            for n in kern.expr.walk()
-            if not n.children()
-        ):
-            issues.append(f"kernel {kern.name!r} is a constant expression")
-
+    issues = [msg for _, msg in stencil_issues(stencil)]
     if issues:
         raise ValidationError(issues)

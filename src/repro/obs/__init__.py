@@ -21,6 +21,7 @@ prefix      where
 ========== ==================================================
 frontend    MSC source parsing (``frontend.parse``)
 schedule    schedule lowering (``schedule.lower``)
+analysis    static legality checks (``analysis.check``)
 codegen     AOT C/Sunway/MPI generation (``codegen.*``)
 machine     architectural simulators + DMA model (``machine.*``)
 comm        halo exchange pack/send/wait/unpack/retry (``comm.*``)
@@ -64,8 +65,8 @@ __all__ = [
 
 #: span-name prefixes emitted by the instrumented pipeline stages
 INSTRUMENTED_SUBSYSTEMS = (
-    "frontend", "schedule", "codegen", "machine", "comm", "runtime",
-    "autotune", "faults", "cli",
+    "frontend", "schedule", "analysis", "codegen", "machine", "comm",
+    "runtime", "autotune", "faults", "cli",
 )
 
 

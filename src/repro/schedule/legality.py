@@ -1,9 +1,11 @@
 """Schedule legality checks against a target machine.
 
-The scheduling primitives are recorded unchecked (any machine-neutral
-misuse already raises in :class:`~repro.schedule.schedule.Schedule`);
-this module validates a lowered schedule against the *machine's*
-constraints:
+This is the legacy raise-on-violation facade over the structured
+analyzer in :mod:`repro.analysis` (which the ``repro check`` CLI, the
+pipeline gates and the autotuner consume directly).  The scheduling
+primitives are recorded unchecked (any machine-neutral misuse already
+raises in :class:`~repro.schedule.schedule.Schedule`); this module
+validates a lowered schedule against the *machine's* constraints:
 
 - SPM capacity: on cache-less processors (Sunway), every cache_read /
   cache_write buffer for one tile (including the stencil halo for read
@@ -17,8 +19,10 @@ constraints:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from ..analysis.checker import binding_footprints, check_kernel_schedule
+from ..analysis.diagnostics import Diagnostic
 from ..ir.kernel import Kernel
 from .loopnest import LoopNest
 from .schedule import CacheBinding, Schedule
@@ -29,8 +33,10 @@ __all__ = ["LegalityError", "check_schedule", "spm_tile_bytes"]
 class LegalityError(ValueError):
     """A schedule violates the target machine's constraints."""
 
-    def __init__(self, issues: List[str]):
+    def __init__(self, issues: List[str],
+                 diagnostics: Optional[Sequence[Diagnostic]] = None):
         self.issues = list(issues)
+        self.diagnostics = tuple(diagnostics or ())
         super().__init__(
             "illegal schedule:\n" + "\n".join(f"- {i}" for i in issues)
         )
@@ -42,88 +48,28 @@ def spm_tile_bytes(kernel: Kernel, tile_shape: Sequence[int],
 
     Read buffers hold the tile plus the stencil halo on every side (the
     overlapped region that makes tiles independent, Sec. 4.3); the write
-    buffer holds the bare tile.  Each time plane read multiplies the
-    read buffer.
+    buffer holds the bare tile.
     """
-    elem = max(
-        (t.dtype.nbytes for t in kernel.input_tensors), default=8
+    return sum(
+        nbytes for _, nbytes in
+        binding_footprints(kernel, tile_shape, bindings)
     )
-    rad = kernel.radius
-    total = 0
-    for b in bindings:
-        if b.kind == "read":
-            n = 1
-            for s, r in zip(tile_shape, rad):
-                n *= s + 2 * r
-            total += n * elem
-        else:
-            n = 1
-            for s in tile_shape:
-                n *= s
-            total += n * elem
-    return total
 
 
 def check_schedule(schedule: Schedule, nest: LoopNest, machine) -> None:
     """Validate a lowered schedule against ``machine`` (a MachineSpec).
 
-    Raises :class:`LegalityError` collecting every violation.
+    Raises :class:`LegalityError` collecting every violation.  This is
+    the strict contract the backends rely on: every error-severity
+    diagnostic raises, and so does ``PAR001`` even where the analyzer
+    downgrades it to a warning (oversubscribing a cached CPU) — callers
+    wanting the lenient severities should use
+    :func:`repro.analysis.check_kernel_schedule` directly.
     """
-    issues: List[str] = []
-    kernel = schedule.kernel
-    bindings = schedule.cache_bindings()
-
-    cores = machine.cores_per_node
-    if nest.nthreads > cores:
-        issues.append(
-            f"parallel({nest.parallel_axis}, {nest.nthreads}) exceeds the "
-            f"{cores} cores of {machine.name}"
-        )
-
-    if machine.cacheless:
-        if not bindings:
-            issues.append(
-                f"{machine.name} has no data cache: schedules must use "
-                "cache_read/cache_write to stage tiles in SPM"
-            )
-        read_bound = {b.tensor for b in bindings if b.kind == "read"}
-        missing = {t.name for t in kernel.input_tensors} - read_bound
-        if bindings and missing:
-            issues.append(
-                f"inputs {sorted(missing)} are not cache_read-bound; on a "
-                "cache-less target every input must be staged"
-            )
-        if bindings and not any(b.kind == "write" for b in bindings):
-            issues.append(
-                "no cache_write buffer; the output tile must be staged in "
-                "SPM before the DMA put"
-            )
-
-        tile_shape = nest.tile_shape()
-        need = spm_tile_bytes(kernel, tile_shape, bindings)
-        if bindings and need > machine.spm_bytes:
-            issues.append(
-                f"tile {tuple(tile_shape)} needs {need} B of SPM but "
-                f"{machine.name} provides {machine.spm_bytes} B per core; "
-                "shrink the tile factors"
-            )
-
-        outer_names = {ax.name for ax in nest.outer_axes}
-        for b in bindings:
-            if b.compute_at is not None and b.compute_at not in outer_names:
-                issues.append(
-                    f"compute_at({b.buffer}, {b.compute_at}) targets an "
-                    "inner axis; DMA must be issued at a tile-enumerating "
-                    "(outer) loop"
-                )
-
-    if nest.parallel_axis is not None:
-        ax = nest.axis(nest.parallel_axis)
-        if ax.role == "inner":
-            issues.append(
-                f"parallel axis {ax.name!r} is a tile-inner loop; "
-                "parallelise an outer loop so whole tiles map to cores"
-            )
-
-    if issues:
-        raise LegalityError(issues)
+    report = check_kernel_schedule(schedule, nest, machine)
+    bad = [
+        d for d in report
+        if d.severity == "error" or d.code == "PAR001"
+    ]
+    if bad:
+        raise LegalityError([d.message for d in bad], diagnostics=bad)

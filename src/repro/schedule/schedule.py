@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..analysis.diagnostics import Diagnostic
 from ..ir.axis import Axis
 from ..ir.kernel import Kernel
 from ..obs import span
@@ -41,7 +42,17 @@ __all__ = ["Schedule", "CacheBinding", "ScheduleError"]
 
 
 class ScheduleError(ValueError):
-    """An invalid combination or ordering of scheduling primitives."""
+    """An invalid combination or ordering of scheduling primitives.
+
+    Errors raised during :meth:`Schedule.lower` carry a structured
+    ``diagnostic`` (a :class:`repro.analysis.diagnostics.Diagnostic`)
+    so ``repro check`` reports them uniformly with the static
+    analyzer's own findings.
+    """
+
+    def __init__(self, message: str, diagnostic: Optional[Diagnostic] = None):
+        super().__init__(message)
+        self.diagnostic = diagnostic
 
 
 @dataclass(frozen=True)
@@ -238,10 +249,16 @@ class Schedule:
     def lower(self, shape: Sequence[int]) -> LoopNest:
         """Apply the recorded primitives over a concrete domain shape."""
         if len(shape) != len(self.kernel.loop_vars):
-            raise ScheduleError(
-                f"domain has {len(shape)} dims for a "
-                f"{len(self.kernel.loop_vars)}-D kernel"
+            names = [v.name for v in self.kernel.loop_vars]
+            msg = (
+                f"kernel {self.kernel.name!r}: domain has {len(shape)} "
+                f"dims for a {len(self.kernel.loop_vars)}-D kernel "
+                f"(loop variables {names})"
             )
+            raise ScheduleError(msg, Diagnostic(
+                "SHAPE001", "error", msg, primitive="lower",
+                kernel=self.kernel.name,
+            ))
         domain = {
             lv.name: (0, int(s))
             for lv, s in zip(self.kernel.loop_vars, shape)
@@ -253,10 +270,14 @@ class Schedule:
             if lv.name in tiled:
                 prim = tiled[lv.name]
                 if prim.factor > int(s):
-                    raise ScheduleError(
-                        f"tile factor {prim.factor} exceeds extent {s} of "
-                        f"{lv.name!r}"
+                    msg = (
+                        f"kernel {self.kernel.name!r}: tile factor "
+                        f"{prim.factor} exceeds extent {s} of {lv.name!r}"
                     )
+                    raise ScheduleError(msg, Diagnostic(
+                        "TILE001", "error", msg, primitive="tile",
+                        kernel=self.kernel.name, axis=lv.name,
+                    ))
                 outer, inner = base.split(prim.factor, prim.outer, prim.inner)
                 axes.extend([outer, inner])
             else:
@@ -277,10 +298,15 @@ class Schedule:
         }
         if self._vectorize is not None:
             if axes[-1].name != self._vectorize.axis:
-                raise ScheduleError(
-                    f"vectorized axis {self._vectorize.axis!r} must be "
-                    f"the innermost loop (innermost is {axes[-1].name!r})"
+                msg = (
+                    f"kernel {self.kernel.name!r}: vectorized axis "
+                    f"{self._vectorize.axis!r} must be the innermost loop "
+                    f"(innermost is {axes[-1].name!r})"
                 )
+                raise ScheduleError(msg, Diagnostic(
+                    "VEC001", "error", msg, primitive="vectorize",
+                    kernel=self.kernel.name, axis=self._vectorize.axis,
+                ))
         with span("schedule.lower", kernel=self.kernel.name) as sp:
             nest = LoopNest(
                 axes=axes,

@@ -1,0 +1,148 @@
+"""Shared hypothesis strategies for the MSC test suite.
+
+Factored out of ``test_printer.py``, ``test_properties.py`` and
+``test_properties_extensions.py``, and reused by the cross-backend
+differential harness (``test_differential.py``): stencil shapes,
+process grids, tile factors, coefficient lists, seeds, and composite
+generators for whole random star stencils plus checker-legal schedules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck
+from hypothesis import strategies as st
+
+from repro.ir import Kernel, SpNode, Stencil, VarExpr, f64
+from repro.schedule import Schedule
+
+__all__ = [
+    "COMMON",
+    "boundaries",
+    "coefficients",
+    "legal_schedules",
+    "process_grids",
+    "seeds",
+    "shapes",
+    "star_stencil_cases",
+    "tile_factors",
+]
+
+#: keep hypothesis fast and deterministic for CI-style runs
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: boundary handling modes shared by every backend
+boundaries = st.sampled_from(["zero", "periodic"])
+
+#: loop-variable names per dimensionality, outermost first
+AXIS_VARS = {1: ("i",), 2: ("j", "i"), 3: ("k", "j", "i")}
+
+#: (outer, inner) tile-axis names per dimension position
+TILE_NAMES = (("xo", "xi"), ("yo", "yi"), ("zo", "zi"))
+
+
+def shapes(ndim: int, min_side: int = 4, max_side: int = 40):
+    """Rectangular domain shapes: one integer extent per dimension."""
+    return st.tuples(*(st.integers(min_side, max_side)
+                       for _ in range(ndim)))
+
+
+def process_grids(ndim: int, max_procs: int = 4):
+    """MPI process grids (small, so in-process worlds stay cheap)."""
+    return st.tuples(*(st.integers(1, max_procs) for _ in range(ndim)))
+
+
+def tile_factors(ndim: int, lo: int = 1, hi: int = 8):
+    """Per-dimension tile factors."""
+    return st.tuples(*(st.integers(lo, hi) for _ in range(ndim)))
+
+
+def seeds():
+    """RNG seeds for deterministic random initial conditions."""
+    return st.integers(0, 2 ** 16)
+
+
+def coefficients(min_size: int, max_size: int, bound: float = 4.0,
+                 nonzero: bool = False):
+    """Lists of finite stencil coefficients in ``[-bound, bound]``."""
+    base = st.floats(-bound, bound, allow_nan=False, allow_infinity=False)
+    if nonzero:
+        base = base.filter(lambda x: x != 0)
+    return st.lists(base, min_size=min_size, max_size=max_size)
+
+
+@st.composite
+def star_stencil_cases(draw, ndim: int = 2, dtype=f64, max_radius: int = 2,
+                       max_side: int = 14):
+    """A random linear star stencil with a matching halo and time window.
+
+    Returns ``(stencil, kernel, shape)``.  Coefficients are scaled by
+    the point count so repeated sweeps stay bounded; the tensor halo
+    equals the stencil radius and the time window covers the deepest
+    drawn dependency — i.e. the case is *valid* IR by construction (the
+    analyzer's HALO001/IR001 checks pass).
+    """
+    radius = draw(st.integers(1, max_radius))
+    deps = draw(st.integers(1, 2))
+    shape = draw(shapes(ndim, min_side=max(6, 4 * radius),
+                        max_side=max_side))
+    ivars = tuple(VarExpr(n) for n in AXIS_VARS[ndim])
+    tensor = SpNode("B", shape, dtype, halo=(radius,) * ndim,
+                    time_window=deps + 1)
+
+    npoints = 1 + 2 * ndim * radius
+    coef = draw(coefficients(npoints, npoints, bound=1.0))
+    scale = 1.0 / npoints
+    expr = (coef[0] * scale) * tensor[ivars]
+    ci = 1
+    for d in range(ndim):
+        for off in range(1, radius + 1):
+            left = tuple(
+                v - off if dd == d else v for dd, v in enumerate(ivars)
+            )
+            right = tuple(
+                v + off if dd == d else v for dd, v in enumerate(ivars)
+            )
+            expr = expr + (coef[ci] * scale) * tensor[left]
+            expr = expr + (coef[ci + 1] * scale) * tensor[right]
+            ci += 2
+    kern = Kernel("S_rand", ivars, expr)
+
+    t = Stencil.t
+    if deps == 1:
+        comb = kern[t - 1]
+    else:
+        w = draw(st.floats(0.1, 0.9, allow_nan=False))
+        comb = w * kern[t - 1] + (1.0 - w) * kern[t - 2]
+    return Stencil(tensor, comb), kern, shape
+
+
+@st.composite
+def legal_schedules(draw, kernel, shape, max_threads: int = 4):
+    """A random tiled/reordered/parallel schedule, legal by construction.
+
+    Tile factors are clipped to the extents, the reorder keeps each
+    tile-inner axis inside its tile-outer axis, and the parallel axis
+    is the outermost tile-enumerating loop — so the static analyzer's
+    machine-independent checks report no errors.
+    """
+    ndim = len(shape)
+    sched = Schedule(kernel)
+    factors = [
+        min(draw(st.integers(1, 8)), s) for s in shape
+    ]
+    flat = []
+    for d in range(ndim):
+        flat.extend(TILE_NAMES[d])
+    sched.tile(*factors, *flat)
+    if draw(st.booleans()):
+        # the paper's canonical order: all outers, then all inners
+        outers = [TILE_NAMES[d][0] for d in range(ndim)]
+        inners = [TILE_NAMES[d][1] for d in range(ndim)]
+        sched.reorder(*outers, *inners)
+    nthreads = draw(st.sampled_from([1, 2, max_threads]))
+    if nthreads > 1:
+        sched.parallel("xo", nthreads)
+    return sched

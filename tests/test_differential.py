@@ -1,0 +1,222 @@
+"""Cross-backend differential test harness.
+
+Random star stencils (hypothesis, ``tests.strategies``) paired with
+checker-legal schedules are pushed through every backend that can
+execute them — the numpy reference, the tile-ordered
+``ScheduledExecutor``, the simulated-MPI ``distributed_run`` and the
+gcc-compiled C bundle — and the results are compared against the
+reference within dtype-dependent bounds (fp64 relative error < 1e-10,
+fp32 < 1e-5).  A legal schedule must never change the numerics; a
+checker-*rejected* schedule must come with a concrete failure witness.
+
+The hypothesis sweeps are marked ``slow`` (run with ``-m slow``); one
+deterministic smoke test stays in the default tier-1 lane.
+"""
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_program
+from repro.backend import CCodeGenerator
+from repro.backend.numpy_backend import ScheduledExecutor, reference_run
+from repro.ir import f32, f64
+from repro.runtime.executor import distributed_run
+from repro.schedule import Schedule
+from repro.schedule.schedule import ScheduleError
+from tests.strategies import (
+    COMMON,
+    boundaries,
+    legal_schedules,
+    process_grids,
+    seeds,
+    star_stencil_cases,
+)
+
+GCC = shutil.which("gcc")
+needs_gcc = pytest.mark.skipif(GCC is None, reason="gcc not available")
+
+#: maximum relative error per precision (ISSUE acceptance bounds)
+REL_TOL = {"f64": 1e-10, "f32": 1e-5}
+
+
+def rel_err(got: np.ndarray, ref: np.ndarray) -> float:
+    scale = max(float(np.abs(ref).max()), 1e-30)
+    return float(np.abs(got - ref).max()) / scale
+
+
+def init_planes(stencil, shape, seed, np_dtype=np.float64):
+    nplanes = stencil.output.time_window - 1
+    rng = np.random.default_rng(seed)
+    return [rng.random(shape).astype(np_dtype) for _ in range(nplanes)]
+
+
+def assert_schedule_legal(stencil, kern, sched):
+    report = check_program(stencil, {kern.name: sched})
+    assert report.ok, report.format()
+
+
+def run_compiled_c(stencil, kern, sched, init, steps, shape, np_dtype):
+    gen = CCodeGenerator(stencil, {kern.name: sched} if sched else {},
+                         boundary="zero")
+    code = gen.generate("diff_case")
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        code.write_to(str(tmp_path))
+        src = tmp_path / f"{code.name}.c"
+        exe = tmp_path / code.name
+        res = subprocess.run(
+            [GCC, "-fopenmp", "-O2", "-o", str(exe), str(src), "-lm"],
+            capture_output=True, text=True,
+        )
+        assert res.returncode == 0, res.stderr
+        init_file = tmp_path / "init.bin"
+        out_file = tmp_path / "out.bin"
+        np.concatenate([p.ravel() for p in init]).astype(np_dtype).tofile(
+            str(init_file)
+        )
+        res = subprocess.run(
+            [str(exe), str(init_file), str(steps), str(out_file)],
+            capture_output=True, text=True,
+        )
+        assert res.returncode == 0, res.stderr
+        return np.fromfile(str(out_file), dtype=np_dtype).reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis sweeps (slow lane)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+@given(case=star_stencil_cases(ndim=2), seed=seeds(),
+       boundary=boundaries, data=st.data())
+@settings(max_examples=40, **COMMON)
+def test_scheduled_executor_matches_reference_fp64(case, seed, boundary,
+                                                   data):
+    stencil, kern, shape = case
+    sched = data.draw(legal_schedules(kern, shape))
+    assert_schedule_legal(stencil, kern, sched)
+    init = init_planes(stencil, shape, seed)
+    steps = 3
+    ref = reference_run(stencil, init, steps, boundary=boundary)
+    got = ScheduledExecutor(
+        stencil, {kern.name: sched}, boundary=boundary
+    ).run(init, steps)
+    assert rel_err(got, ref) < REL_TOL["f64"]
+
+
+@pytest.mark.slow
+@given(case=star_stencil_cases(ndim=3, max_radius=1, max_side=10),
+       seed=seeds(), data=st.data())
+@settings(max_examples=15, **COMMON)
+def test_scheduled_executor_matches_reference_3d(case, seed, data):
+    stencil, kern, shape = case
+    sched = data.draw(legal_schedules(kern, shape))
+    assert_schedule_legal(stencil, kern, sched)
+    init = init_planes(stencil, shape, seed)
+    ref = reference_run(stencil, init, 2, boundary="zero")
+    got = ScheduledExecutor(stencil, {kern.name: sched}).run(init, 2)
+    assert rel_err(got, ref) < REL_TOL["f64"]
+
+
+@pytest.mark.slow
+@given(case=star_stencil_cases(ndim=2, dtype=f32), seed=seeds(),
+       data=st.data())
+@settings(max_examples=25, **COMMON)
+def test_scheduled_executor_matches_reference_fp32(case, seed, data):
+    stencil, kern, shape = case
+    sched = data.draw(legal_schedules(kern, shape))
+    assert_schedule_legal(stencil, kern, sched)
+    init = init_planes(stencil, shape, seed, np.float32)
+    ref = reference_run(stencil, init, 3, boundary="zero")
+    got = ScheduledExecutor(stencil, {kern.name: sched}).run(init, 3)
+    assert rel_err(got, ref) < REL_TOL["f32"]
+
+
+@pytest.mark.slow
+@given(case=star_stencil_cases(ndim=2), grid=process_grids(2, 3),
+       seed=seeds(), boundary=boundaries)
+@settings(max_examples=25, **COMMON)
+def test_distributed_run_matches_reference(case, grid, seed, boundary):
+    stencil, kern, shape = case
+    halo = stencil.output.halo
+    # the checker's own decomposition rule decides admissibility
+    assume(check_program(stencil, mpi_grid=grid, shape=shape).ok)
+    assert all(s // g >= h for s, g, h in zip(shape, grid, halo))
+    init = init_planes(stencil, shape, seed)
+    steps = 2
+    ref = reference_run(stencil, init, steps, boundary=boundary)
+    got = distributed_run(stencil, init, steps, grid=grid,
+                          boundary=boundary)
+    assert rel_err(got, ref) < REL_TOL["f64"]
+
+
+@pytest.mark.slow
+@needs_gcc
+@given(case=star_stencil_cases(ndim=2, max_radius=1, max_side=12),
+       seed=seeds(), data=st.data())
+@settings(max_examples=10, **COMMON)
+def test_compiled_c_matches_reference(case, seed, data):
+    stencil, kern, shape = case
+    sched = data.draw(legal_schedules(kern, shape))
+    assert_schedule_legal(stencil, kern, sched)
+    init = init_planes(stencil, shape, seed)
+    steps = 3
+    ref = reference_run(stencil, init, steps, boundary="zero")
+    got = run_compiled_c(stencil, kern, sched, init, steps, shape,
+                         np.float64)
+    assert rel_err(got, ref) < REL_TOL["f64"]
+
+
+@pytest.mark.slow
+@given(case=star_stencil_cases(ndim=2), data=st.data())
+@settings(max_examples=25, **COMMON)
+def test_rejected_schedules_have_witnesses(case, data):
+    """Whatever the checker rejects must actually fail to lower/run."""
+    stencil, kern, shape = case
+    factor = data.draw(st.integers(shape[0] + 1, shape[0] + 8))
+    sched = Schedule(kern).tile(factor, 2, "xo", "xi", "yo", "yi")
+    report = check_program(stencil, {kern.name: sched}, shape=shape)
+    assert report.by_code("TILE001")
+    with pytest.raises(ScheduleError, match="exceeds extent"):
+        sched.lower(shape)
+
+
+# ---------------------------------------------------------------------------
+# deterministic smoke test (tier-1 lane)
+# ---------------------------------------------------------------------------
+
+def test_differential_smoke_all_backends():
+    """One fixed case through every available backend (fast lane)."""
+    from tests.conftest import make_2d5pt
+    from repro.ir import Stencil
+
+    tensor, kern = make_2d5pt(shape=(12, 16))
+    stencil = Stencil(tensor, kern[Stencil.t - 1])
+    sched = Schedule(kern).tile(4, 5, "xo", "xi", "yo", "yi")
+    sched.parallel("xo", 2)
+    assert_schedule_legal(stencil, kern, sched)
+
+    init = init_planes(stencil, (12, 16), seed=7)
+    steps = 3
+    ref = reference_run(stencil, init, steps, boundary="zero")
+
+    got_sched = ScheduledExecutor(stencil, {kern.name: sched}).run(
+        init, steps
+    )
+    assert rel_err(got_sched, ref) < REL_TOL["f64"]
+
+    got_mpi = distributed_run(stencil, init, steps, grid=(2, 2),
+                              boundary="zero")
+    assert rel_err(got_mpi, ref) < REL_TOL["f64"]
+
+    if GCC is not None:
+        got_c = run_compiled_c(stencil, kern, sched, init, steps,
+                               (12, 16), np.float64)
+        assert rel_err(got_c, ref) < REL_TOL["f64"]

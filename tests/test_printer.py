@@ -10,6 +10,7 @@ from repro.frontend import build_benchmark, parse_program, render_program
 from repro.frontend.printer import render_expr
 from repro.ir import Kernel, SpNode, Stencil, VarExpr
 from repro.ir.expr import ConstExpr
+from tests.strategies import COMMON, coefficients, seeds
 
 
 class TestRenderExpr:
@@ -79,13 +80,10 @@ class TestRoundTrip:
 
 
 @given(
-    coef=st.lists(
-        st.floats(-4, 4, allow_nan=False).filter(lambda x: x != 0),
-        min_size=2, max_size=5,
-    ),
-    seed=st.integers(0, 2 ** 16),
+    coef=coefficients(2, 5, nonzero=True),
+    seed=seeds(),
 )
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25, **COMMON)
 def test_roundtrip_property_random_coefficients(coef, seed):
     """Any linear 1-D stencil survives the print->parse round trip."""
     i = VarExpr("i")

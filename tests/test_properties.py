@@ -18,18 +18,19 @@ from repro.ir.expr import ConstExpr
 from repro.ir.visitor import fold_constants
 from repro.machine.spm import SPMAllocationError, SPMAllocator
 from repro.schedule import Schedule, SlidingTimeWindow
-
-# keep hypothesis fast and deterministic for CI-style runs
-COMMON = dict(
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+from tests.strategies import (
+    COMMON,
+    process_grids,
+    seeds,
+    shapes,
+    tile_factors,
 )
 
 
 # -- decomposition ----------------------------------------------------------------
 @given(
-    shape=st.tuples(st.integers(4, 40), st.integers(4, 40)),
-    grid=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    shape=shapes(2, 4, 40),
+    grid=process_grids(2, 4),
 )
 @settings(max_examples=60, **COMMON)
 def test_decomposition_partitions_domain(shape, grid):
@@ -84,10 +85,8 @@ def test_pack_unpack_roundtrip(shape, data):
 
 # -- schedules ---------------------------------------------------------------------
 @given(
-    extent=st.tuples(st.integers(4, 20), st.integers(4, 20),
-                     st.integers(4, 20)),
-    factors=st.tuples(st.integers(1, 8), st.integers(1, 8),
-                      st.integers(1, 8)),
+    extent=shapes(3, 4, 20),
+    factors=tile_factors(3),
 )
 @settings(max_examples=50, **COMMON)
 def test_tiles_cover_domain_once_for_any_factors(extent, factors):
@@ -108,7 +107,7 @@ def test_tiles_cover_domain_once_for_any_factors(extent, factors):
 
 @given(
     nworkers=st.integers(1, 9),
-    factors=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    factors=tile_factors(2, 1, 6),
 )
 @settings(max_examples=40, **COMMON)
 def test_worker_assignment_partitions_tiles(nworkers, factors):
@@ -192,7 +191,7 @@ def test_constant_folding_matches_python(a, b):
 @given(
     coef=st.lists(st.floats(-1, 1, allow_nan=False, allow_infinity=False),
                   min_size=3, max_size=3),
-    seed=st.integers(0, 2 ** 16),
+    seed=seeds(),
 )
 @settings(max_examples=25, **COMMON)
 def test_stencil_linearity(coef, seed):
@@ -212,9 +211,10 @@ def test_stencil_linearity(coef, seed):
     np.testing.assert_allclose(y2, 3.0 * y1, rtol=1e-10, atol=1e-12)
 
 
+@pytest.mark.slow
 @given(
-    factors=st.tuples(st.integers(1, 8), st.integers(1, 8)),
-    seed=st.integers(0, 2 ** 16),
+    factors=tile_factors(2),
+    seed=seeds(),
 )
 @settings(max_examples=25, **COMMON)
 def test_schedule_never_changes_results(factors, seed):

@@ -12,18 +12,22 @@ from repro.frontend import build_benchmark
 from repro.inspector import WorkloadMap, decompose_weighted, weighted_cuts
 from repro.ir import Kernel, SpNode, StagePipeline, Stencil, VarExpr, f64
 from repro.runtime.topology import fat_tree, route_exchange, torus
-
-COMMON = dict(
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+from tests.strategies import (
+    COMMON,
+    boundaries,
+    process_grids,
+    seeds,
+    shapes,
+    tile_factors,
 )
 
 
+@pytest.mark.slow
 @given(
-    tile=st.tuples(st.integers(3, 10), st.integers(3, 10)),
+    tile=tile_factors(2, 3, 10),
     depth=st.integers(1, 3),
-    seed=st.integers(0, 2 ** 16),
-    boundary=st.sampled_from(["zero", "periodic"]),
+    seed=seeds(),
+    boundary=boundaries,
 )
 @settings(max_examples=20, **COMMON)
 def test_temporal_tiling_always_exact(tile, depth, seed, boundary):
@@ -57,9 +61,9 @@ def test_weighted_cuts_partition_and_balance(marginal, parts):
 
 
 @given(
-    shape=st.tuples(st.integers(6, 24), st.integers(6, 24)),
-    grid=st.tuples(st.integers(1, 3), st.integers(1, 3)),
-    seed=st.integers(0, 2 ** 16),
+    shape=shapes(2, 6, 24),
+    grid=process_grids(2, 3),
+    seed=seeds(),
 )
 @settings(max_examples=40, **COMMON)
 def test_weighted_decomposition_partitions_domain(shape, grid, seed):
@@ -73,7 +77,7 @@ def test_weighted_decomposition_partitions_domain(shape, grid, seed):
     assert (seen == 1).all()
 
 
-@given(seed=st.integers(0, 2 ** 16), stages=st.integers(1, 3))
+@given(seed=seeds(), stages=st.integers(1, 3))
 @settings(max_examples=15, **COMMON)
 def test_pipeline_stage_chain_linear(seed, stages):
     """A chain of averaging stages stays linear: P(a·x) == a·P(x)."""
@@ -124,6 +128,7 @@ def test_fat_tree_always_connected(radix, nhosts):
     pgrid=st.tuples(st.integers(1, 3), st.integers(1, 3)),
 )
 @settings(max_examples=20, **COMMON)
+@pytest.mark.slow
 def test_routed_bytes_conserved_on_any_torus(dims, pgrid):
     """Total routed bytes equal the analytical per-process halo sum."""
     from repro.ir.analysis import halo_traffic_bytes
