@@ -13,6 +13,10 @@ Commands
 - ``simulate BENCH --machine {sunway,matrix,cpu}`` — timing report for
   a Table-4 benchmark under its Table-5 schedule;
 - ``tune BENCH --nprocs N`` — run the auto-tuner;
+- ``bench [WORKLOAD ...]`` — statistical performance benchmark:
+  warmup + N repeats per workload, phase attribution and roofline
+  placement, written as a versioned ``BENCH_<name>.json``;
+  ``--compare BASELINE.json`` gates on regressions (exit 1);
 - ``report EXPERIMENT`` — regenerate one table/figure of the paper;
 - ``trace FILE`` — summarize a saved execution trace;
 - ``list`` — list the Table-4 benchmarks, report names, trace
@@ -131,6 +135,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=20000)
     p.add_argument("--seed", type=int, default=0)
     _add_trace_flags(p)
+
+    p = sub.add_parser("bench", help="statistical performance benchmark")
+    p.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                   help="'<bench>@<machine>' or 'exchange:<bench>' "
+                        "(default: the perf-smoke pair; see --list)")
+    p.add_argument("--list", action="store_true", dest="list_workloads",
+                   help="list the built-in workloads and exit")
+    p.add_argument("--name", default=None,
+                   help="bench document name (BENCH_<name>.json)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="measured repeats per workload (default: 5)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="discarded warmup runs (default: 1)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (fixed across repeats)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="where to write the bench document "
+                        "(default: ./BENCH_<name>.json, mirrored to "
+                        "benchmarks/results/ when present)")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="compare against a baseline bench document; "
+                        "exit 1 on regression")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="regression noise threshold as a fraction "
+                        "(default: 0.10)")
+    p.add_argument("--report-only", action="store_true",
+                   help="with --compare: print deltas but always "
+                        "exit 0")
+    p.add_argument("--perturb", action="append", default=[],
+                   metavar="PARAM=FACTOR",
+                   help="multiply a machine-spec field (e.g. "
+                        "dma_startup_us=10) — for regression-gate "
+                        "testing (repeatable)")
 
     p = sub.add_parser("verify", help="Sec. 5.1 correctness check")
     p.add_argument("benchmark")
@@ -418,6 +455,63 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from .obs import perf
+
+    if args.list_workloads:
+        print("built-in bench workloads (default: "
+              + " ".join(perf.DEFAULT_WORKLOADS) + "):")
+        for name in perf.available_workloads():
+            print(f"  {name}")
+        return 0
+
+    perturb = {}
+    for item in args.perturb:
+        key, _, factor = item.partition("=")
+        if not factor:
+            print(f"error: --perturb expects PARAM=FACTOR, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        perturb[key] = float(factor)
+
+    workloads, default_name = perf.resolve_workloads(
+        args.workloads, perturb=perturb or None
+    )
+    name = args.name or default_name
+    print(f"benching {len(workloads)} workload(s), "
+          f"{args.repeats} repeats + {args.warmup} warmup, "
+          f"seed {args.seed} ...")
+    doc = perf.run_bench(workloads, name, repeats=args.repeats,
+                         warmup=args.warmup, seed=args.seed)
+    print(perf.format_bench(doc))
+
+    out = args.out or perf.bench_filename(name)
+    perf.write_bench(out, doc)
+    written = [out]
+    results_dir = os.path.join("benchmarks", "results")
+    if args.out is None and os.path.isdir(results_dir):
+        mirror = os.path.join(results_dir, f"{name}.json")
+        perf.write_bench(mirror, doc)
+        written.append(mirror)
+    print()
+    for path in written:
+        print(f"bench document written to {path}")
+
+    if not args.compare:
+        return 0
+    baseline = perf.load_bench(args.compare)
+    cmp = perf.compare(doc, baseline, threshold=args.threshold)
+    print()
+    print(cmp.format())
+    if cmp.ok or args.report_only:
+        if not cmp.ok:
+            print("(report-only mode: regressions do not fail the run)")
+        return 0
+    return 1
+
+
 def _cmd_verify(args) -> int:
     from .evalsuite.verify import verify_benchmark
     from .ir.dtypes import f32, f64
@@ -522,6 +616,8 @@ def _cmd_list(_args) -> int:
               f"radius {bench.radius}, {bench.points} points")
     print("reports:", ", ".join(_REPORTS))
     print("trace exporters:", ", ".join(EXPORT_FORMATS))
+    print("bench workloads: <bench>@{sunway,matrix,cpu}, "
+          "exchange:<bench>  (repro bench --list)")
     print("instrumented subsystems:",
           ", ".join(INSTRUMENTED_SUBSYSTEMS))
     return 0
@@ -533,6 +629,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "tune": _cmd_tune,
+    "bench": _cmd_bench,
     "verify": _cmd_verify,
     "report": _cmd_report,
     "trace": _cmd_trace,

@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
-__all__ = ["line_chart"]
+__all__ = ["line_chart", "bar_chart"]
 
 _MARKERS = "ox+*#@%&"
 
@@ -21,6 +21,33 @@ def _nice(value: float) -> str:
     if abs(value) >= 1e4 or abs(value) < 1e-2:
         return f"{value:.1e}"
     return f"{value:.4g}"
+
+
+def bar_chart(items: Dict[str, float], width: int = 40,
+              fmt=None) -> str:
+    """Horizontal bar chart of named non-negative values.
+
+    Bars are scaled to the largest value; each row shows the label,
+    the bar and the formatted value (``fmt(value)``, default
+    :func:`_nice`).  Used by the perf observatory for per-phase time
+    shares.
+    """
+    if not items:
+        raise ValueError("no bars to plot")
+    if width < 8:
+        raise ValueError("chart too small to be readable")
+    fmt = fmt or _nice
+    top = max(items.values())
+    if top < 0 or any(v < 0 for v in items.values()):
+        raise ValueError("bar values must be non-negative")
+    label_w = max(len(k) for k in items)
+    lines = []
+    for name, value in items.items():
+        n = int(round(value / top * width)) if top > 0 else 0
+        lines.append(
+            f"{name:<{label_w}s} |{'#' * n:<{width}s}| {fmt(value)}"
+        )
+    return "\n".join(lines)
 
 
 def line_chart(series: Dict[str, List[Tuple[float, float]]],

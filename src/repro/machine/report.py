@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from .dma import DMAStats
 
@@ -58,5 +58,76 @@ class TimingReport:
         return total_flops / self.total_s / 1e9
 
     def speedup_over(self, baseline: "TimingReport") -> float:
-        """Baseline time / this time (>1 means we are faster)."""
+        """Baseline time / this time (>1 means we are faster).
+
+        A zero-time baseline did no (modelled) work; comparing against
+        it is meaningless, so it raises rather than returning inf.
+        """
+        if baseline.total_s <= 0:
+            raise ValueError(
+                f"baseline report for {baseline.stencil!r} on "
+                f"{baseline.machine!r} has zero elapsed time — nothing "
+                "to speed up over"
+            )
         return baseline.total_s / self.total_s
+
+    # -- phase attribution -----------------------------------------------
+    def phases(self) -> Dict[str, float]:
+        """Whole-run modelled time per perf-observatory phase.
+
+        Maps onto the stable taxonomy of :mod:`repro.obs.perf.phases`:
+        ``compute`` is the arithmetic critical path, ``spm-dma`` the
+        memory/DMA critical path (DMA on cache-less machines, cache
+        traffic otherwise), ``other`` the fixed per-run overhead.
+        """
+        return {
+            "compute": self.compute_s * self.timesteps,
+            "spm-dma": self.memory_s * self.timesteps,
+            "other": self.overhead_s,
+        }
+
+    # -- (de)serialisation -----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, including the derived phase attribution."""
+        return {
+            "machine": self.machine,
+            "stencil": self.stencil,
+            "precision": self.precision,
+            "timesteps": self.timesteps,
+            "compute_s": self.compute_s,
+            "memory_s": self.memory_s,
+            "overhead_s": self.overhead_s,
+            "flops_per_step": self.flops_per_step,
+            "dma": None if self.dma is None else {
+                "n_gets": self.dma.n_gets,
+                "n_puts": self.dma.n_puts,
+                "bytes_get": self.dma.bytes_get,
+                "bytes_put": self.dma.bytes_put,
+                "time_s": self.dma.time_s,
+            },
+            "details": dict(self.details),
+            "phases": self.phases(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TimingReport":
+        """Inverse of :meth:`to_dict` (``phases`` is derived, not read)."""
+        dma = doc.get("dma")
+        return cls(
+            machine=doc["machine"],
+            stencil=doc["stencil"],
+            precision=doc["precision"],
+            timesteps=doc["timesteps"],
+            compute_s=doc["compute_s"],
+            memory_s=doc["memory_s"],
+            overhead_s=doc.get("overhead_s", 0.0),
+            flops_per_step=doc.get("flops_per_step", 0.0),
+            dma=None if dma is None else DMAStats(
+                n_gets=dma["n_gets"],
+                n_puts=dma["n_puts"],
+                bytes_get=dma["bytes_get"],
+                bytes_put=dma["bytes_put"],
+                time_s=dma["time_s"],
+            ),
+            details=dict(doc.get("details", {})),
+        )

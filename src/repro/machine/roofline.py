@@ -26,6 +26,23 @@ class RooflinePoint:
     achieved_gflops: float
     bound: str  # "memory" | "compute"
 
+    @property
+    def utilization(self) -> float:
+        """Achieved fraction of the attainable ceiling (0..1)."""
+        if self.attainable_gflops <= 0:
+            return 0.0
+        return self.achieved_gflops / self.attainable_gflops
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "operational_intensity": self.operational_intensity,
+            "attainable_gflops": self.attainable_gflops,
+            "achieved_gflops": self.achieved_gflops,
+            "utilization": self.utilization,
+            "bound": self.bound,
+        }
+
 
 class Roofline:
     """Roofline for one machine at one precision."""

@@ -8,7 +8,11 @@ package is the measurement substrate for those claims:
 - :mod:`repro.obs.trace`   — hierarchical spans with attributes,
 - :mod:`repro.obs.metrics` — labeled counters/gauges/histograms,
 - :mod:`repro.obs.export`  — JSON, Chrome ``trace_event`` and ASCII
-  summary exporters.
+  summary exporters,
+- :mod:`repro.obs.perf`    — the performance observatory: statistical
+  bench runner, span-based phase attribution, roofline reports and
+  the ``repro bench`` regression gate (import explicitly:
+  ``from repro.obs import perf``).
 
 Everything is **off by default** and free when off: instrumentation
 sites cost one flag check and record nothing until :func:`enable` is

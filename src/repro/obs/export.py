@@ -192,10 +192,13 @@ def _summarize(spans: List[Dict[str, Any]],
         lines.append("HISTOGRAMS")
         for name in sorted(hists):
             h = hists[name]
-            lines.append(
+            line = (
                 f"  {name:40s} n={h['count']} mean={h['mean']:.4g} "
-                f"p50={h['p50']:.4g} p90={h['p90']:.4g} max={h['max']:.4g}"
+                f"p50={h['p50']:.4g} p90={h['p90']:.4g}"
             )
+            if "p99" in h:  # absent from traces saved before v1 p99
+                line += f" p99={h['p99']:.4g}"
+            lines.append(line + f" max={h['max']:.4g}")
     return "\n".join(lines)
 
 

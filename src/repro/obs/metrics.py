@@ -6,7 +6,7 @@ A :class:`MetricsRegistry` holds named series of three kinds:
   (``comm.bytes_sent{rank=3,dim=0}``),
 - **gauges** — last-written values (``machine.spm_utilisation``),
 - **histograms** — full value distributions summarised as
-  count/mean/p50/p90/max (``autotune.trial_time_s``).
+  count/mean/p50/p90/p99/max (``autotune.trial_time_s``).
 
 Series are identified by a metric name plus a label set; labels are
 arbitrary keyword arguments (``counter("comm.messages", rank=3)``).
@@ -45,11 +45,20 @@ def format_series(key: _SeriesKey) -> str:
 
 
 def _percentile(ordered: List[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted list."""
+    """Linearly-interpolated percentile of an already-sorted list.
+
+    Nearest-rank is badly biased for the handful of observations the
+    bench runner records (p90 of 5 repeats would just be the max), so
+    interpolate between the two bracketing order statistics — the same
+    convention as ``numpy.percentile(..., method="linear")``.
+    """
     if not ordered:
         raise ValueError("percentile of no values")
-    idx = max(0, int(round(q * (len(ordered) - 1))))
-    return ordered[idx]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
 
 class MetricsRegistry:
@@ -140,6 +149,7 @@ class MetricsRegistry:
                     "mean": sum(ordered) / len(ordered),
                     "p50": _percentile(ordered, 0.50),
                     "p90": _percentile(ordered, 0.90),
+                    "p99": _percentile(ordered, 0.99),
                     "max": ordered[-1],
                 }
         return {

@@ -1,0 +1,200 @@
+"""Baseline comparison and the perf-regression gate.
+
+``compare`` takes two bench documents (current vs. baseline) and
+computes per-metric and per-phase deltas.  A delta **flags a
+regression** when all of:
+
+1. the metric is *gated* (a deterministic model output — host wall
+   times never gate),
+2. the median is worse than the baseline median by more than the
+   noise ``threshold`` (default 10%), direction-aware, and
+3. the current median falls outside the baseline's 95% CI for the
+   median (zero-width for deterministic metrics, so any >threshold
+   shift trips it).
+
+The CLI exits non-zero when ``ComparisonReport.ok`` is false, so CI
+can gate on ``repro bench --compare BASELINE.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["Delta", "ComparisonReport", "compare", "DEFAULT_THRESHOLD"]
+
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass
+class Delta:
+    """One compared quantity."""
+
+    workload: str
+    kind: str  # "metric" | "phase" | "phase-host"
+    name: str
+    base: float
+    current: float
+    #: direction-adjusted fractional change; positive = worse
+    worse_frac: float
+    gated: bool
+    regressed: bool = False
+    improved: bool = False
+
+    @property
+    def label(self) -> str:
+        what = f"phase '{self.name}'" if "phase" in self.kind \
+            else self.name
+        return f"{self.workload}: {what}"
+
+
+@dataclass
+class ComparisonReport:
+    """All deltas of one current-vs-baseline comparison."""
+
+    baseline_name: str
+    current_name: str
+    threshold: float
+    deltas: List[Delta] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [
+            f"PERF COMPARISON  {self.current_name} vs baseline "
+            f"{self.baseline_name}  (threshold {self.threshold:.0%})"
+        ]
+        header = (f"{'workload / quantity':44s} {'baseline':>12s} "
+                  f"{'current':>12s} {'delta':>8s}  status")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for d in sorted(self.deltas,
+                        key=lambda d: (-abs(d.worse_frac), d.label)):
+            if not d.gated and not (d.regressed or d.improved) \
+                    and abs(d.worse_frac) < 0.02:
+                continue  # keep the table focused on what moved
+            status = ("REGRESSED" if d.regressed
+                      else "improved" if d.improved
+                      else "ok" if d.gated else "info")
+            pct = ("n/a" if math.isinf(d.worse_frac)
+                   else f"{d.worse_frac:+.1%}")
+            label = d.label
+            if len(label) > 44:
+                label = label[:41] + "..."
+            lines.append(
+                f"{label:44s} {d.base:>12.6g} {d.current:>12.6g} "
+                f"{pct:>8s}  {status}"
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.regressions:
+            lines.append("")
+            lines.append(f"{len(self.regressions)} REGRESSION(S):")
+            for d in self.regressions:
+                lines.append(
+                    f"  {d.label}: {d.base:.6g} -> {d.current:.6g} "
+                    f"({d.worse_frac:+.1%} worse)"
+                )
+        else:
+            lines.append("")
+            lines.append("no regressions beyond the noise threshold")
+        return "\n".join(lines)
+
+
+def _worse_frac(base: float, cur: float, direction: str) -> float:
+    """Fractional change with positive = worse for the direction."""
+    delta = cur - base if direction == "lower" else base - cur
+    if base == 0:
+        if delta == 0:
+            return 0.0
+        return math.inf if delta > 0 else -math.inf
+    return delta / abs(base)
+
+
+def _outside_ci(cur: float, ci: List[float], direction: str) -> bool:
+    lo, hi = ci
+    return cur > hi if direction == "lower" else cur < lo
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            threshold: float = DEFAULT_THRESHOLD) -> ComparisonReport:
+    """Compare two bench documents (see module docstring)."""
+    report = ComparisonReport(
+        baseline_name=baseline.get("name", "?"),
+        current_name=current.get("name", "?"),
+        threshold=threshold,
+    )
+    base_wls = baseline.get("workloads", {})
+    cur_wls = current.get("workloads", {})
+    for wname in cur_wls:
+        if wname not in base_wls:
+            report.notes.append(
+                f"workload {wname!r} has no baseline (new?)"
+            )
+    for wname in base_wls:
+        if wname not in cur_wls:
+            report.notes.append(
+                f"baseline workload {wname!r} missing from current run"
+            )
+
+    for wname, cur_wl in cur_wls.items():
+        base_wl = base_wls.get(wname)
+        if base_wl is None:
+            continue
+        _compare_metrics(report, wname, cur_wl, base_wl, threshold)
+        _compare_phases(report, wname, cur_wl, base_wl, threshold)
+    return report
+
+
+def _compare_metrics(report: ComparisonReport, wname: str,
+                     cur_wl: Dict[str, Any], base_wl: Dict[str, Any],
+                     threshold: float) -> None:
+    base_metrics = base_wl.get("metrics", {})
+    for mname, cur_m in cur_wl.get("metrics", {}).items():
+        base_m = base_metrics.get(mname)
+        if base_m is None:
+            continue
+        direction = cur_m.get("direction", "lower")
+        gated = bool(cur_m.get("gate")) and bool(base_m.get("gate"))
+        worse = _worse_frac(base_m["median"], cur_m["median"], direction)
+        ci = base_m.get("ci95") or [base_m["median"], base_m["median"]]
+        outside = _outside_ci(cur_m["median"], ci, direction)
+        d = Delta(wname, "metric", mname, base_m["median"],
+                  cur_m["median"], worse, gated)
+        d.regressed = gated and worse > threshold and outside
+        d.improved = gated and worse < -threshold
+        report.deltas.append(d)
+
+
+def _compare_phases(report: ComparisonReport, wname: str,
+                    cur_wl: Dict[str, Any], base_wl: Dict[str, Any],
+                    threshold: float) -> None:
+    # modelled phases gate (deterministic, zero-width CI); host phases
+    # are informational
+    for kind, gated in (("phases_sim", True), ("phases_host", False)):
+        base_ph = base_wl.get(kind, {})
+        for pname, cur_p in cur_wl.get(kind, {}).items():
+            base_p = base_ph.get(pname)
+            if base_p is None:
+                continue
+            worse = _worse_frac(base_p["time_s"], cur_p["time_s"],
+                                "lower")
+            d = Delta(
+                wname, "phase" if gated else "phase-host", pname,
+                base_p["time_s"], cur_p["time_s"], worse, gated,
+            )
+            d.regressed = gated and worse > threshold
+            d.improved = gated and worse < -threshold
+            report.deltas.append(d)

@@ -1,0 +1,229 @@
+"""Statistical benchmark runner.
+
+Runs a workload ``warmup + repeats`` times under the :mod:`repro.obs`
+tracer, folds each repeat's trace into the stable phase taxonomy, and
+aggregates every metric across repeats with *robust* statistics:
+
+- **median** — the reported central value,
+- **MAD** — median absolute deviation (the noise scale),
+- **ci95** — a notch-style 95% interval for the median,
+  ``median ± 1.57 × IQR / sqrt(n)`` (McGill et al.), degenerate
+  (zero-width) for deterministic model outputs,
+- mean/min/max for context.
+
+Workload metrics split into two classes, recorded per metric in the
+schema:
+
+- ``gate=True`` — *deterministic model outputs* (simulated step time,
+  modelled DMA time, halo traffic bytes).  Fixed seeds make them
+  reproducible bit-for-bit, so the regression gate can compare them
+  across machines and CI runs without noise heuristics.
+- ``gate=False`` — *host measurements* (wall time per repeat, host
+  phase attribution).  Reported for trend-watching, never gated.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import capture
+from ..metrics import _percentile
+from .phases import PhaseAttribution, attribute
+from .schema import BENCH_FORMAT, BENCH_VERSION
+
+__all__ = [
+    "MetricSpec",
+    "Workload",
+    "WorkloadOutput",
+    "run_workload",
+    "run_bench",
+    "aggregate",
+    "environment_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one metric is aggregated and compared."""
+
+    unit: str = "s"
+    #: "lower" (times) or "higher" (rates) is better
+    direction: str = "lower"
+    #: deterministic model output → eligible for the regression gate
+    gate: bool = False
+
+
+@dataclass
+class WorkloadOutput:
+    """What one workload invocation hands back to the runner."""
+
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: modelled per-phase attribution (deterministic; gated)
+    phases_sim: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: roofline placement per kernel (``RooflinePoint.to_dict()`` form)
+    roofline: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+
+@dataclass
+class Workload:
+    """A benchmarkable unit of pipeline work."""
+
+    name: str
+    #: ``fn(seed) -> WorkloadOutput``; runs under an enabled tracer
+    fn: Callable[[int], WorkloadOutput]
+    metric_specs: Dict[str, MetricSpec] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def spec_for(self, metric: str) -> MetricSpec:
+        return self.metric_specs.get(metric, MetricSpec())
+
+
+def aggregate(values: List[float]) -> Dict[str, Any]:
+    """Robust summary of one metric's repeat values."""
+    if not values:
+        raise ValueError("aggregate of no values")
+    ordered = sorted(values)
+    n = len(ordered)
+    median = _percentile(ordered, 0.5)
+    mad = _percentile(sorted(abs(v - median) for v in ordered), 0.5)
+    iqr = _percentile(ordered, 0.75) - _percentile(ordered, 0.25)
+    half = 1.57 * iqr / math.sqrt(n)
+    return {
+        "n": n,
+        "median": median,
+        "mad": mad,
+        "mean": sum(ordered) / n,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "ci95": [median - half, median + half],
+    }
+
+
+def _perf_counter() -> float:
+    import time
+
+    return time.perf_counter()
+
+
+def run_workload(workload: Workload, repeats: int = 5, warmup: int = 1,
+                 seed: int = 0) -> Dict[str, Any]:
+    """Run one workload and return its schema fragment."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        workload.fn(seed)
+
+    samples: List[Dict[str, float]] = []
+    host_attrs: List[PhaseAttribution] = []
+    out: Optional[WorkloadOutput] = None
+    for _ in range(repeats):
+        with capture() as (tr, _reg):
+            t0 = _perf_counter()
+            out = workload.fn(seed)
+            wall = _perf_counter() - t0
+        host_attrs.append(attribute(tr.records))
+        sample = dict(out.metrics)
+        sample["host.wall_s"] = wall
+        samples.append(sample)
+    assert out is not None
+
+    specs = dict(workload.metric_specs)
+    specs.setdefault("host.wall_s", MetricSpec(unit="s", gate=False))
+    metrics: Dict[str, Any] = {}
+    for name in samples[-1]:
+        values = [s[name] for s in samples if name in s]
+        spec = specs.get(name, MetricSpec())
+        metrics[name] = aggregate(values) | {
+            "unit": spec.unit,
+            "direction": spec.direction,
+            "gate": spec.gate,
+        }
+
+    # host phase attribution: median time/bytes per phase over repeats
+    phase_names = sorted({p for a in host_attrs for p in a.phases})
+    phases_host: Dict[str, Any] = {}
+    for pname in phase_names:
+        times = [a.phases[pname].time_s if pname in a.phases else 0.0
+                 for a in host_attrs]
+        byts = [a.phases[pname].bytes if pname in a.phases else 0.0
+                for a in host_attrs]
+        counts = [a.phases[pname].count if pname in a.phases else 0
+                  for a in host_attrs]
+        phases_host[pname] = {
+            "time_s": _percentile(sorted(times), 0.5),
+            "bytes": _percentile(sorted(byts), 0.5),
+            "count": int(_percentile(sorted(float(c) for c in counts),
+                                     0.5)),
+        }
+    coverage = _percentile(sorted(a.coverage for a in host_attrs), 0.5)
+    total_host = _percentile(sorted(a.total_s for a in host_attrs), 0.5)
+
+    return {
+        "meta": dict(workload.meta),
+        "samples": repeats,
+        "warmup": warmup,
+        "seed": seed,
+        "metrics": metrics,
+        "phases_host": phases_host,
+        "phase_total_host_s": total_host,
+        "phase_coverage": coverage,
+        "phases_sim": {k: dict(v) for k, v in out.phases_sim.items()},
+        "roofline": {k: dict(v) for k, v in out.roofline.items()},
+    }
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Where/how this bench ran (informational; never gated)."""
+    import numpy
+
+    fp: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "executable": sys.executable,
+    }
+    try:
+        import subprocess
+
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if sha.returncode == 0:
+            fp["git"] = sha.stdout.strip()
+    except Exception:  # noqa: BLE001 - fingerprint stays best-effort
+        pass
+    return fp
+
+
+def run_bench(workloads: List[Workload], name: str, repeats: int = 5,
+              warmup: int = 1, seed: int = 0) -> Dict[str, Any]:
+    """Run a workload list into one versioned bench document."""
+    if not workloads:
+        raise ValueError("no workloads to bench")
+    doc: Dict[str, Any] = {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "name": name,
+        "repeats": repeats,
+        "warmup": warmup,
+        "seed": seed,
+        "workloads": {},
+        "environment": environment_fingerprint(),
+    }
+    for w in workloads:
+        doc["workloads"][w.name] = run_workload(
+            w, repeats=repeats, warmup=warmup, seed=seed
+        )
+    return doc

@@ -1,0 +1,82 @@
+"""Versioned on-disk schema for performance-observatory results.
+
+Two document kinds:
+
+- **bench documents** (``BENCH_<name>.json``) — the statistical bench
+  runner's output: per-workload metric aggregates, phase attribution,
+  roofline placement and an environment fingerprint.  Written to the
+  repo root (the durable perf trajectory every PR is measured against)
+  and mirrored under ``benchmarks/results/``.
+- **artefact documents** (``benchmarks/results/<name>.json``) — the
+  machine-readable twin of each paper-figure ``.txt`` artefact,
+  emitted by ``benchmarks/_common.emit``.
+
+Both carry ``format``/``version`` headers so future schema changes can
+migrate old files instead of silently misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_VERSION",
+    "ARTIFACT_FORMAT",
+    "bench_filename",
+    "write_bench",
+    "load_bench",
+    "load_artifact",
+]
+
+BENCH_FORMAT = "repro-bench"
+BENCH_VERSION = 1
+
+ARTIFACT_FORMAT = "repro-bench-artifact"
+
+
+def bench_filename(name: str) -> str:
+    """Canonical repo-root filename for a bench document."""
+    safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+    return f"BENCH_{safe}.json"
+
+
+def write_bench(path: str, doc: Dict[str, Any]) -> None:
+    """Serialise a bench document (stable key order, trailing newline)."""
+    if doc.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"not a bench document (format={doc.get('format')!r})"
+        )
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Load + validate a ``BENCH_*.json`` document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"{path} is not a {BENCH_FORMAT} document (format="
+            f"{doc.get('format') if isinstance(doc, dict) else type(doc)!r})"
+        )
+    version = doc.get("version")
+    if version != BENCH_VERSION:
+        raise ValueError(
+            f"{path} has schema version {version!r}; this build reads "
+            f"version {BENCH_VERSION}"
+        )
+    if "workloads" not in doc:
+        raise ValueError(f"{path}: bench document has no workloads")
+    return doc
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load a ``benchmarks/results/*.json`` figure artefact."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(f"{path} is not a {ARTIFACT_FORMAT} document")
+    return doc

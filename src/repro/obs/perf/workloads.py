@@ -1,0 +1,254 @@
+"""Built-in perf-observatory workloads.
+
+Two families, both deterministic under a fixed seed:
+
+- ``<bench>@<machine>`` — the full single-node pipeline for one
+  Table-4 benchmark on ``sunway``/``matrix``/``cpu``: schedule build,
+  AOT codegen, architectural simulation, roofline placement.  Gated
+  metrics are the *modelled* times/rates (deterministic); the host
+  wall time rides along ungated.
+- ``exchange:<bench>`` — a scaled-down distributed run over the
+  simulated MPI fabric: gated on halo-traffic bytes/messages (exact
+  model outputs), with host pack/send-wait/unpack attribution.
+
+``workload_by_name`` also accepts a ``perturb`` mapping
+(``{"dma_startup_us": 10.0}``) that *multiplies* numeric fields of the
+machine spec — the knob the regression-gate tests (and ``repro bench
+--perturb``) use to fake a slowed phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from .runner import MetricSpec, Workload, WorkloadOutput
+
+__all__ = [
+    "DEFAULT_WORKLOADS",
+    "available_workloads",
+    "workload_by_name",
+    "resolve_workloads",
+]
+
+#: the CI perf-smoke pair: one SPM/DMA (Sunway) path, one cache path
+DEFAULT_WORKLOADS = ("3d7pt_star@sunway", "2d9pt_box@matrix")
+
+_MACHINES = ("sunway", "matrix", "cpu")
+
+_GRID_2D = (64, 64)
+_GRID_3D = (24, 24, 24)
+
+
+def available_workloads() -> List[str]:
+    """Every resolvable built-in workload name."""
+    from ...frontend.stencils import BENCHMARK_NAMES
+
+    names = [f"{b}@{m}" for b in BENCHMARK_NAMES for m in _MACHINES]
+    names += [f"exchange:{b}" for b in BENCHMARK_NAMES]
+    return names
+
+
+def _perturbed(spec, perturb: Optional[Dict[str, float]]):
+    """Scale numeric machine-spec fields by the given factors."""
+    if not perturb:
+        return spec
+    changes = {}
+    for key, factor in perturb.items():
+        if not hasattr(spec, key):
+            raise ValueError(
+                f"machine spec {spec.name!r} has no field {key!r}"
+            )
+        value = getattr(spec, key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"machine-spec field {key!r} is not numeric")
+        changes[key] = type(value)(value * factor)
+    return dataclasses.replace(spec, **changes)
+
+
+def _simulate_workload(bench_name: str, machine_alias: str,
+                       perturb: Optional[Dict[str, float]] = None,
+                       timesteps: int = 1) -> Workload:
+    def fn(seed: int) -> WorkloadOutput:
+        from ...evalsuite.harness import build_with_schedule
+        from ...ir.analysis import stencil_flops_per_point
+        from ...ir.dtypes import f64
+        from ...machine.matrix_sim import CacheMachineSimulator
+        from ...machine.roofline import Roofline
+        from ...machine.spec import machine_by_name
+        from ...machine.sunway_sim import SunwaySimulator
+
+        bench = _bench(bench_name)
+        grid = _GRID_2D if bench.ndim == 2 else _GRID_3D
+        prog, handle = build_with_schedule(
+            bench_name, machine_alias, f64, grid=grid
+        )
+        spec = _perturbed(machine_by_name(machine_alias), perturb)
+
+        codegen_bytes = 0
+        try:
+            code = prog.compile_to_source_code(
+                bench_name, target=machine_alias, check=False
+            )
+            codegen_bytes = sum(len(t) for t in code.files.values())
+        except Exception:  # noqa: BLE001 - codegen is optional context
+            pass
+
+        sim = (SunwaySimulator(spec) if spec.cacheless
+               else CacheMachineSimulator(spec))
+        report = sim.run(prog.ir, handle.schedule, timesteps=timesteps)
+
+        # roofline placement (the Fig. 9 operational-intensity model)
+        flops_pp = stencil_flops_per_point(prog.ir)
+        elem = prog.ir.output.dtype.nbytes
+        napply = len(prog.ir.applications)
+        write_cost = 1.0 if spec.cacheless else 2.0
+        oi = flops_pp / (elem * (napply + write_cost))
+        roof = Roofline(spec, report.precision)
+        point = roof.place(bench_name, oi, report.gflops)
+
+        phases_sim: Dict[str, Dict[str, float]] = {}
+        for phase, seconds in report.phases().items():
+            if seconds <= 0:
+                continue
+            entry: Dict[str, float] = {"time_s": seconds}
+            if phase == "spm-dma" and report.dma is not None:
+                entry["bytes"] = float(report.dma.total_bytes)
+            if phase == "compute" and seconds > 0:
+                total_flops = report.flops_per_step * report.timesteps
+                entry["gflops"] = total_flops / seconds / 1e9
+            phases_sim[phase] = entry
+
+        return WorkloadOutput(
+            metrics={
+                "sim.step_s": report.step_s,
+                "sim.total_s": report.total_s,
+                "sim.compute_s": report.compute_s,
+                "sim.memory_s": report.memory_s,
+                "sim.gflops": report.gflops,
+                "codegen.bytes": float(codegen_bytes),
+            },
+            phases_sim=phases_sim,
+            roofline={bench_name: point.to_dict()},
+        )
+
+    bench = _bench(bench_name)
+    return Workload(
+        name=f"{bench_name}@{machine_alias}",
+        fn=fn,
+        metric_specs={
+            "sim.step_s": MetricSpec("s", "lower", gate=True),
+            "sim.total_s": MetricSpec("s", "lower", gate=True),
+            "sim.compute_s": MetricSpec("s", "lower", gate=True),
+            "sim.memory_s": MetricSpec("s", "lower", gate=True),
+            "sim.gflops": MetricSpec("GFlops", "higher", gate=True),
+            "codegen.bytes": MetricSpec("B", "lower", gate=False),
+        },
+        meta={
+            "kind": "simulate",
+            "benchmark": bench_name,
+            "machine": machine_alias,
+            "grid": list(_GRID_2D if bench.ndim == 2 else _GRID_3D),
+            "timesteps": timesteps,
+            "perturb": dict(perturb or {}),
+        },
+    )
+
+
+def _exchange_workload(bench_name: str, steps: int = 2) -> Workload:
+    def fn(seed: int) -> WorkloadOutput:
+        import numpy as np
+
+        from ... import obs
+        from ...frontend.stencils import benchmark_by_name
+        from ...ir.dtypes import f64
+        from ...runtime.executor import distributed_run
+
+        bench = benchmark_by_name(bench_name)
+        grid = (2, 2) if bench.ndim == 2 else (2, 1, 2)
+        base = (24, 20) if bench.ndim == 2 else (12, 12, 12)
+        shape = tuple(max(s, 4 * bench.radius) for s in base)
+        demo, _ = bench.build(grid=shape, dtype=f64,
+                              boundary="periodic")
+        need = demo.ir.required_time_window - 1
+        rng = np.random.default_rng(seed)
+        init = [rng.random(shape) for _ in range(need)]
+        result = distributed_run(
+            demo.ir, init, steps, grid, boundary="periodic"
+        )
+        reg = obs.registry()
+        return WorkloadOutput(metrics={
+            "comm.bytes_sent": reg.counter_total("comm.bytes_sent"),
+            "comm.messages": reg.counter_total("comm.messages"),
+            "result.l2": float(np.linalg.norm(result)),
+        })
+
+    bench = _bench(bench_name)
+    return Workload(
+        name=f"exchange:{bench_name}",
+        fn=fn,
+        metric_specs={
+            "comm.bytes_sent": MetricSpec("B", "lower", gate=True),
+            "comm.messages": MetricSpec("msgs", "lower", gate=True),
+            "result.l2": MetricSpec("", "higher", gate=False),
+        },
+        meta={
+            "kind": "exchange",
+            "benchmark": bench_name,
+            "steps": steps,
+            "mpi_grid": list((2, 2) if bench.ndim == 2 else (2, 1, 2)),
+        },
+    )
+
+
+def _bench(name: str):
+    from ...frontend.stencils import benchmark_by_name
+
+    return benchmark_by_name(name)
+
+
+def workload_by_name(spec: str,
+                     perturb: Optional[Dict[str, float]] = None
+                     ) -> Workload:
+    """Resolve one workload spec string.
+
+    - ``<bench>@<machine>`` → simulate workload,
+    - ``exchange:<bench>`` → distributed halo-exchange workload.
+    """
+    if spec.startswith("exchange:"):
+        if perturb:
+            raise ValueError(
+                "--perturb applies to machine specs; exchange workloads "
+                "have none"
+            )
+        return _exchange_workload(spec.split(":", 1)[1])
+    if "@" in spec:
+        bench_name, machine = spec.rsplit("@", 1)
+        if machine not in _MACHINES:
+            raise ValueError(
+                f"unknown machine {machine!r} in workload {spec!r}; "
+                f"known: {_MACHINES}"
+            )
+        return _simulate_workload(bench_name, machine, perturb)
+    raise ValueError(
+        f"cannot parse workload {spec!r}; expected '<bench>@<machine>' "
+        "or 'exchange:<bench>'"
+    )
+
+
+def resolve_workloads(specs: List[str],
+                      perturb: Optional[Dict[str, float]] = None
+                      ) -> Tuple[List[Workload], str]:
+    """Resolve CLI workload specs (default pair when empty).
+
+    Returns the workloads plus a default bench-document name derived
+    from them.
+    """
+    if not specs:
+        specs = list(DEFAULT_WORKLOADS)
+        name = "perf_smoke"
+    else:
+        name = "_".join(
+            s.replace("@", "_").replace(":", "_") for s in specs
+        )[:64]
+    return [workload_by_name(s, perturb) for s in specs], name

@@ -169,10 +169,21 @@ class Tracer:
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._next_id = 1
-        self._epoch = time.perf_counter()
-        self._epoch_wall = time.time()
+        self._anchor()
         #: finished spans, appended at span exit
         self.records: List[Span] = []
+
+    def _anchor(self) -> None:
+        """Capture one (wall, monotonic) clock pair.
+
+        All span timestamps are offsets of ``time.perf_counter()`` from
+        ``self._epoch``; the *only* wall-clock read is the paired
+        ``time.time()`` taken here.  Exported wall timestamps are always
+        derived as ``epoch_wall + monotonic offset``, so an NTP step
+        mid-run cannot make the trace drift or go backwards.
+        """
+        self._epoch_wall = time.time()
+        self._epoch = time.perf_counter()
 
     # -- state -----------------------------------------------------------
     @property
@@ -180,6 +191,10 @@ class Tracer:
         return self._enabled
 
     def enable(self) -> None:
+        # re-anchor the clock pair on a fresh recording only: records
+        # already taken must keep their epoch
+        if not self._enabled and not self.records:
+            self._anchor()
         self._enabled = True
 
     def disable(self) -> None:
@@ -190,8 +205,7 @@ class Tracer:
         with self._lock:
             self.records = []
             self._next_id = 1
-            self._epoch = time.perf_counter()
-            self._epoch_wall = time.time()
+            self._anchor()
         self._tls = threading.local()
 
     # -- recording -------------------------------------------------------
@@ -221,8 +235,17 @@ class Tracer:
 
     @property
     def epoch_wall_s(self) -> float:
-        """Wall-clock time (``time.time``) of the tracer epoch."""
+        """Wall-clock time (``time.time``) of the tracer epoch.
+
+        Captured as one atomic pair with the monotonic epoch at
+        construction/:meth:`reset`/first :meth:`enable`; combine with a
+        span's monotonic ``start_s`` via :meth:`wall_time_s`.
+        """
         return self._epoch_wall
+
+    def wall_time_s(self, offset_s: float) -> float:
+        """Wall-clock timestamp of a monotonic offset (e.g. ``start_s``)."""
+        return self._epoch_wall + offset_s
 
 
 _TRACER = Tracer()

@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.machine.report` and roofline serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.dma import DMAStats
+from repro.machine.report import TimingReport
+from repro.machine.roofline import Roofline, RooflinePoint
+from repro.machine.spec import machine_by_name
+
+
+def _report(**overrides) -> TimingReport:
+    base = dict(
+        machine="sunway",
+        stencil="3d7pt_star",
+        precision="fp64",
+        timesteps=10,
+        compute_s=0.002,
+        memory_s=0.003,
+        overhead_s=0.01,
+        flops_per_step=1e6,
+    )
+    base.update(overrides)
+    return TimingReport(**base)
+
+
+class TestDerived:
+    def test_step_and_total(self):
+        r = _report()
+        assert r.step_s == pytest.approx(0.005)
+        assert r.total_s == pytest.approx(0.06)
+
+    def test_gflops(self):
+        r = _report()
+        assert r.gflops == pytest.approx(1e7 / 0.06 / 1e9)
+
+    def test_gflops_empty_run_is_zero(self):
+        r = _report(timesteps=0, overhead_s=0.0, flops_per_step=0.0)
+        assert r.total_s == 0.0
+        assert r.gflops == 0.0
+
+    def test_gflops_zero_timesteps_with_overhead(self):
+        r = _report(timesteps=0, overhead_s=0.5)
+        assert r.gflops == 0.0
+
+    def test_gflops_flops_without_time_raises(self):
+        r = _report(compute_s=0.0, memory_s=0.0, overhead_s=0.0)
+        with pytest.raises(ValueError, match="zero elapsed time"):
+            r.gflops
+
+    def test_speedup_over(self):
+        fast = _report(compute_s=0.001, memory_s=0.001, overhead_s=0.0)
+        slow = _report(compute_s=0.002, memory_s=0.002, overhead_s=0.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_over_zero_baseline_raises(self):
+        r = _report()
+        empty = _report(timesteps=0, compute_s=0.0, memory_s=0.0,
+                        overhead_s=0.0, flops_per_step=0.0)
+        with pytest.raises(ValueError, match="zero elapsed time"):
+            r.speedup_over(empty)
+
+
+class TestPhases:
+    def test_phases_sum_to_total(self):
+        r = _report()
+        phases = r.phases()
+        assert set(phases) == {"compute", "spm-dma", "other"}
+        assert sum(phases.values()) == pytest.approx(r.total_s)
+
+    def test_phases_scale_with_timesteps(self):
+        r = _report(timesteps=20)
+        assert r.phases()["compute"] == pytest.approx(0.002 * 20)
+        assert r.phases()["other"] == pytest.approx(0.01)
+
+
+class TestSerialisation:
+    def test_roundtrip_without_dma(self):
+        r = _report()
+        doc = r.to_dict()
+        assert doc["phases"]["spm-dma"] == pytest.approx(0.03)
+        back = TimingReport.from_dict(doc)
+        assert back == r
+
+    def test_roundtrip_with_dma_and_details(self):
+        dma = DMAStats(n_gets=4, n_puts=2, bytes_get=1024,
+                       bytes_put=512, time_s=0.001)
+        r = _report(dma=dma, details={"spm_bytes": 65536.0})
+        back = TimingReport.from_dict(r.to_dict())
+        assert back == r
+        assert back.dma == dma
+        assert back.details["spm_bytes"] == 65536.0
+
+    def test_from_dict_defaults(self):
+        doc = _report().to_dict()
+        del doc["overhead_s"], doc["flops_per_step"], doc["details"]
+        back = TimingReport.from_dict(doc)
+        assert back.overhead_s == 0.0
+        assert back.flops_per_step == 0.0
+        assert back.details == {}
+
+    def test_phases_key_is_derived_not_read(self):
+        doc = _report().to_dict()
+        doc["phases"] = {"compute": 999.0}  # tampered; must be ignored
+        back = TimingReport.from_dict(doc)
+        assert back.phases()["compute"] == pytest.approx(0.02)
+
+
+class TestRooflinePoint:
+    def test_utilization(self):
+        pt = RooflinePoint("k", 0.2, attainable_gflops=100.0,
+                           achieved_gflops=40.0, bound="memory")
+        assert pt.utilization == pytest.approx(0.4)
+
+    def test_utilization_zero_ceiling(self):
+        pt = RooflinePoint("k", 0.0, attainable_gflops=0.0,
+                           achieved_gflops=0.0, bound="memory")
+        assert pt.utilization == 0.0
+
+    def test_to_dict(self):
+        pt = RooflinePoint("k", 0.25, 50.0, 10.0, "memory")
+        doc = pt.to_dict()
+        assert doc == {
+            "name": "k",
+            "operational_intensity": 0.25,
+            "attainable_gflops": 50.0,
+            "achieved_gflops": 10.0,
+            "utilization": 0.2,
+            "bound": "memory",
+        }
+
+    def test_place_reports_utilization(self):
+        spec = machine_by_name("sunway")
+        roof = Roofline(spec, "fp64")
+        oi = roof.ridge_oi / 2  # memory-bound side
+        pt = roof.place("k", oi, roof.attainable(oi) * 0.5)
+        assert pt.bound == "memory"
+        assert pt.utilization == pytest.approx(0.5)
+        assert pt.to_dict()["utilization"] == pytest.approx(0.5)

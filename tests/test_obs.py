@@ -135,6 +135,46 @@ class TestSpans:
         assert tracer().records == []
 
 
+class TestWallAnchor:
+    def test_wall_time_derives_from_epoch_pair(self):
+        tr = Tracer()
+        tr.enable()
+        before = time.time()
+        with tr.span("a"):
+            pass
+        after = time.time()
+        rec = tr.records[0]
+        wall = tr.wall_time_s(rec.start_s)
+        # the epoch pair was taken before the span started; the derived
+        # wall timestamp must land inside the observed wall window
+        assert before - 1.0 <= wall <= after + 1.0
+        assert tr.wall_time_s(rec.end_s) >= wall
+
+    def test_reset_re_anchors(self):
+        tr = Tracer()
+        e0 = tr.epoch_wall_s
+        time.sleep(0.002)
+        tr.reset()
+        assert tr.epoch_wall_s >= e0
+
+    def test_enable_re_anchors_only_fresh_recordings(self):
+        tr = Tracer()
+        tr.enable()
+        with tr.span("a"):
+            pass
+        anchored = tr.epoch_wall_s
+        tr.disable()
+        time.sleep(0.002)
+        # records exist: re-enabling must NOT move their epoch
+        tr.enable()
+        assert tr.epoch_wall_s == anchored
+        tr.disable()
+        tr.reset()
+        time.sleep(0.002)
+        tr.enable()  # fresh recording: re-anchoring is allowed
+        assert tr.epoch_wall_s > anchored
+
+
 class TestMetrics:
     def test_disabled_is_noop(self):
         obs.counter("c")
@@ -170,8 +210,27 @@ class TestMetrics:
         snap = registry().snapshot()["histograms"]["h"]
         assert snap["count"] == 10
         assert snap["mean"] == pytest.approx(5.5)
-        assert snap["p50"] == 5.0  # nearest-rank on 1..10
+        assert snap["p50"] == pytest.approx(5.5)  # interpolated on 1..10
+        assert snap["p90"] == pytest.approx(9.1)
+        assert snap["p99"] == pytest.approx(9.91)
         assert snap["max"] == 10.0
+
+    def test_percentile_interpolation_small_n(self):
+        # the bench runner's repeat counts are tiny; nearest-rank would
+        # collapse p90 onto the max for n=5
+        obs.enable()
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            obs.observe("r", v)
+        snap = registry().snapshot()["histograms"]["r"]
+        assert snap["p90"] == pytest.approx(4.6)
+        assert snap["p99"] == pytest.approx(4.96)
+        assert snap["p50"] == pytest.approx(3.0)
+
+    def test_percentile_empty_raises(self):
+        from repro.obs.metrics import _percentile
+
+        with pytest.raises(ValueError):
+            _percentile([], 0.5)
 
     def test_format_series(self):
         obs.enable()
