@@ -18,7 +18,11 @@ Commands
   placement, written as a versioned ``BENCH_<name>.json``;
   ``--compare BASELINE.json`` gates on regressions (exit 1);
 - ``report EXPERIMENT`` — regenerate one table/figure of the paper;
-- ``trace FILE`` — summarize a saved execution trace;
+- ``trace FILE`` — summarize a saved execution trace (``--by-rank`` /
+  ``--distributed`` add the per-rank and flow-edge views);
+- ``critpath FILE`` — communication critical path and load-imbalance
+  report of a saved distributed trace; exits non-zero on a malformed
+  span DAG (orphan inbound flow edges, dangling parents);
 - ``list`` — list the Table-4 benchmarks, report names, trace
   exporters and instrumented subsystems.
 
@@ -183,6 +187,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace", help="summarize a saved trace file")
     p.add_argument("file", help="trace file (repro json or chrome "
                                 "trace_event format)")
+    p.add_argument("--by-rank", action="store_true",
+                   help="print only the per-rank phase table")
+    p.add_argument("--distributed", action="store_true",
+                   help="add per-rank tables, flow-edge stats and the "
+                        "critical-path summary")
+
+    p = sub.add_parser(
+        "critpath",
+        help="communication critical path of a saved distributed trace",
+    )
+    p.add_argument("file", help="trace file (repro json or chrome "
+                                "trace_event format)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output")
 
     sub.add_parser("list", help="list benchmarks, reports and "
                                 "trace exporters")
@@ -599,9 +617,66 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from .obs.export import summarize_trace_file
+    from .obs.distributed import (
+        DistributedTrace,
+        extract_critical_path,
+        format_by_rank,
+        format_critical_path,
+    )
+    from .obs.export import _summarize, load_trace
 
-    print(summarize_trace_file(args.file))
+    doc = load_trace(args.file)
+    dt = DistributedTrace.from_doc(doc)
+    if args.by_rank:
+        print(format_by_rank(dt))
+        return 0
+    print(_summarize(doc.get("spans", []), doc.get("metrics", {})))
+    if args.distributed or len(dt.ranks) >= 2:
+        print()
+        print(format_by_rank(dt))
+    if args.distributed:
+        print()
+        print(f"flow edges: {len(dt.edges)} matched, "
+              f"{len(dt.dangling_out)} dangling outbound (dropped), "
+              f"{len(dt.orphan_in)} orphan inbound")
+        print()
+        print(format_critical_path(extract_critical_path(dt)))
+    return 0
+
+
+def _cmd_critpath(args) -> int:
+    import json
+
+    from .obs.distributed import (
+        DistributedTrace,
+        extract_critical_path,
+        format_by_rank,
+        format_critical_path,
+        imbalance_report,
+    )
+
+    dt = DistributedTrace.from_file(args.file)
+    problems = dt.validate()
+    if problems:
+        print(f"error: malformed trace DAG in {args.file}:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    cp = extract_critical_path(dt)
+    rep = imbalance_report(dt)
+    if args.as_json:
+        print(json.dumps({
+            "file": args.file,
+            "ranks": dt.ranks,
+            "critical_path": cp.to_dict(),
+            "imbalance": rep.to_dict(),
+        }, indent=2))
+        return 0
+    print(format_critical_path(cp))
+    if len(dt.ranks) >= 2:
+        print()
+        print(format_by_rank(dt, rep))
     return 0
 
 
@@ -633,6 +708,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "critpath": _cmd_critpath,
     "list": _cmd_list,
 }
 

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..obs import counter, span
+from ..obs.trace import attach_flow
 from ..runtime.simmpi import CartComm, Request, SimMPIError
 from .halo import HaloSpec, Region, halo_regions
 from .packing import BufferPool, pack, unpack
@@ -166,6 +167,7 @@ class AsyncHaloExchanger(HaloExchanger):
     def _exchange_phase_fast(self, plane: np.ndarray,
                              phase: Sequence[Region], d: int,
                              seq: int) -> None:
+        rank = self.comm.rank
         recvs: List[Optional[Request]] = []
         recv_bufs = []
         for region in phase:
@@ -191,21 +193,22 @@ class AsyncHaloExchanger(HaloExchanger):
             n = region.count(self.spec.padded_shape)
             sbuf = self.pool.get(n, plane.dtype,
                                  tag=f"send-{d}-{region.direction}")
-            with span("comm.pack", dim=d, dir=region.direction):
+            with span("comm.pack", rank=rank, dim=d, dir=region.direction):
                 pack(plane, region.send, sbuf)
             # the message a peer receives on its (dim, dir) face
             # was sent from our opposite-direction strip
             send_tag = self._data_tag(seq, d, self._send_bit(region))
-            with span("comm.send", dim=d, dir=region.direction,
+            with span("comm.send", rank=rank, dim=d, dir=region.direction,
                       bytes=sbuf.nbytes):
                 self.comm.Isend(sbuf, dest=peer, tag=send_tag).Wait()
             self._count_message(sbuf.nbytes, d)
         for region, req, buf in zip(phase, recvs, recv_bufs):
             if req is None:
                 continue
-            with span("comm.wait", dim=d, dir=region.direction):
+            with span("comm.wait", rank=rank, dim=d, dir=region.direction):
                 req.Wait(self.op_timeout)
-            with span("comm.unpack", dim=d, dir=region.direction):
+            with span("comm.unpack", rank=rank, dim=d,
+                      dir=region.direction):
                 unpack(buf, plane, region.recv)
 
     # -- fault-tolerant path ---------------------------------------------
@@ -213,6 +216,7 @@ class AsyncHaloExchanger(HaloExchanger):
                                   phase: Sequence[Region], d: int,
                                   seq: int) -> None:
         comm = self.comm
+        rank = comm.rank
         now = time.monotonic()
         overall_deadline = now + self.op_timeout
         recv_pending = {}
@@ -223,9 +227,13 @@ class AsyncHaloExchanger(HaloExchanger):
             n = region.count(self.spec.padded_shape)
             buf = self.pool.get(n, plane.dtype,
                                 tag=f"recv-{d}-{region.direction}")
+            # data receives complete inside req.Test() below, under the
+            # outer comm.exchange span; defer the flow so it can be
+            # re-homed onto the unpack span that consumes the strip
             req = comm.Irecv(
                 buf, source=peer,
                 tag=self._data_tag(seq, d, self._recv_bit(region)),
+                defer_flow=True,
             )
             recv_pending[region.direction] = (region, req, buf, peer)
         ack_pending = {}
@@ -237,11 +245,11 @@ class AsyncHaloExchanger(HaloExchanger):
             n = region.count(self.spec.padded_shape)
             sbuf = self.pool.get(n, plane.dtype,
                                  tag=f"send-{d}-{region.direction}")
-            with span("comm.pack", dim=d, dir=region.direction):
+            with span("comm.pack", rank=rank, dim=d, dir=region.direction):
                 pack(plane, region.send, sbuf)
             bit = self._send_bit(region)
             send_tag = self._data_tag(seq, d, bit)
-            with span("comm.send", dim=d, dir=region.direction,
+            with span("comm.send", rank=rank, dim=d, dir=region.direction,
                       bytes=sbuf.nbytes):
                 comm.Isend(sbuf, dest=peer, tag=send_tag)
             self._count_message(sbuf.nbytes, d)
@@ -271,7 +279,11 @@ class AsyncHaloExchanger(HaloExchanger):
                     ack_out, dest=peer, reliable=True,
                     tag=self._ack_tag(seq, d, self._recv_bit(region)),
                 )
-                with span("comm.unpack", dim=d, dir=region.direction):
+                with span("comm.unpack", rank=rank, dim=d,
+                          dir=region.direction):
+                    flow = comm.pop_parked_flow()
+                    if flow is not None:
+                        attach_flow("recv", flow)
                     unpack(buf, plane, region.recv)
                 del recv_pending[key]
                 progressed = True
@@ -298,7 +310,8 @@ class AsyncHaloExchanger(HaloExchanger):
                 entry["attempts"] += 1
                 self.retries += 1
                 counter("comm.retry", rank=comm.rank, dim=d)
-                with span("comm.retry", dim=d, dir=region.direction,
+                with span("comm.retry", rank=rank, dim=d,
+                          dir=region.direction,
                           attempt=entry["attempts"],
                           bytes=entry["sbuf"].nbytes):
                     comm.Isend(entry["sbuf"], dest=entry["peer"],
@@ -362,7 +375,8 @@ class MasterCoordinatedExchanger(HaloExchanger):
                     )
                     sbuf[0] = float(peer)
                     sbuf[1] = float(self._tag_for_peer(region))
-                    with span("comm.pack", dim=d, dir=region.direction):
+                    with span("comm.pack", rank=comm.rank, dim=d,
+                              dir=region.direction):
                         pack(plane, region.send, sbuf[2:])
                     sends.append((sbuf, region))
                 counts = comm.gather(len(sends), root=self.MASTER)
@@ -370,7 +384,8 @@ class MasterCoordinatedExchanger(HaloExchanger):
                 # the master's relay scratch must fit the largest
                 max_strip = comm.allreduce(self._max_strip(phase), "max")
                 for sbuf, region in sends:
-                    with span("comm.send", dim=d, bytes=sbuf.nbytes):
+                    with span("comm.send", rank=comm.rank, dim=d,
+                              bytes=sbuf.nbytes):
                         comm.Send(sbuf, dest=self.MASTER,
                                   tag=_TAG_BASE - 1)
                     self._count_message(sbuf.nbytes, d)
@@ -379,7 +394,8 @@ class MasterCoordinatedExchanger(HaloExchanger):
                     total = sum(counts)
                     scratch = self.pool.get(max_strip + 2, plane.dtype,
                                             tag="relay")
-                    with span("comm.relay", dim=d, total=total):
+                    with span("comm.relay", rank=comm.rank, dim=d,
+                              total=total):
                         for _ in range(total):
                             _, _, count = comm.Recv(scratch,
                                                     tag=_TAG_BASE - 1)
@@ -396,10 +412,12 @@ class MasterCoordinatedExchanger(HaloExchanger):
                     rbuf = self.pool.get(
                         n, plane.dtype, tag=f"m-recv-{d}-{region.direction}"
                     )
-                    with span("comm.wait", dim=d, dir=region.direction):
+                    with span("comm.wait", rank=comm.rank, dim=d,
+                              dir=region.direction):
                         comm.Recv(rbuf, source=self.MASTER,
                                   tag=self._tag(region))
-                    with span("comm.unpack", dim=d, dir=region.direction):
+                    with span("comm.unpack", rank=comm.rank, dim=d,
+                              dir=region.direction):
                         unpack(rbuf, plane, region.recv)
 
     def _tag_for_peer(self, region: Region) -> int:

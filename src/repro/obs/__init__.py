@@ -47,13 +47,14 @@ from .metrics import (
     observe,
     registry,
 )
-from .trace import Span, Tracer, is_enabled, span, tracer
+from .trace import Span, Tracer, attach_flow, is_enabled, span, tracer
 
 __all__ = [
     "INSTRUMENTED_SUBSYSTEMS",
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "attach_flow",
     "capture",
     "counter",
     "disable",
@@ -61,6 +62,7 @@ __all__ = [
     "gauge",
     "is_enabled",
     "observe",
+    "rank_scope",
     "registry",
     "reset",
     "span",
@@ -90,6 +92,19 @@ def reset() -> None:
     """Drop all recorded spans and metrics (state stays on/off as-is)."""
     tracer().reset()
     registry().reset()
+
+
+@contextmanager
+def rank_scope(rank: int):
+    """Tag every span and metric written on this thread with ``rank=``.
+
+    Bound by ``run_ranks`` around each simulated MPI rank thread so
+    distributed traces carry per-rank attribution end to end (see
+    :mod:`repro.obs.distributed`).  Explicit ``rank=`` attrs/labels at
+    an instrumentation site win over the scope's value.
+    """
+    with tracer().scope(rank=rank), registry().scope(rank=rank):
+        yield
 
 
 @contextmanager

@@ -68,14 +68,24 @@ def export_chrome(tr: Optional[Tracer] = None,
 
     Spans become complete (``"ph": "X"``) events with microsecond
     timestamps; each recording thread gets its own ``tid`` plus a
-    ``thread_name`` metadata event.  The metrics snapshot rides along
-    under ``otherData`` (ignored by viewers).
+    ``thread_name`` metadata event.  Spans carrying message-flow ids
+    (``flows_out``/``flows_in`` attrs, see ``Tracer.attach_flow``)
+    additionally emit flow events (``ph: "s"``/``"f"``) so Perfetto
+    draws send→recv arrows between rank tracks.
+
+    Each X event also carries the native span identity as top-level
+    ``sid``/``spid``/``t0``/``d`` fields — unknown to viewers, ignored
+    by them, but enough for :func:`load_trace` to round-trip the file
+    losslessly (exact ids, parents and float timestamps, no interval
+    guessing).  The metrics snapshot and tracer epoch ride along under
+    ``otherData``.
     """
     tr = tr or tracer()
     reg = reg or registry()
     spans = sorted(tr.records, key=lambda s: (s.start_s, s.span_id))
     tids: Dict[str, int] = {}
     events: List[Dict[str, Any]] = []
+    flows: List[Dict[str, Any]] = []
     for s in spans:
         if s.thread not in tids:
             tid = tids[s.thread] = len(tids)
@@ -86,6 +96,7 @@ def export_chrome(tr: Optional[Tracer] = None,
                 "tid": tid,
                 "args": {"name": s.thread},
             })
+        tid = tids[s.thread]
         events.append({
             "name": s.name,
             "cat": s.name.split(".", 1)[0],
@@ -93,14 +104,33 @@ def export_chrome(tr: Optional[Tracer] = None,
             "ts": s.start_s * 1e6,
             "dur": s.duration_s * 1e6,
             "pid": 0,
-            "tid": tids[s.thread],
+            "tid": tid,
+            "sid": s.span_id,
+            "spid": s.parent_id,
+            "t0": s.start_s,
+            "d": s.duration_s,
             "args": {str(k): v for k, v in s.attrs.items()},
         })
+        # flow events bind to the slice enclosing their ts on the same
+        # track; the midpoint is strictly inside for any dur > 0
+        mid_us = (s.start_s + s.duration_s / 2) * 1e6
+        for fid in s.attrs.get("flows_out", ()):
+            flows.append({
+                "name": "msg", "cat": "flow", "ph": "s", "id": fid,
+                "ts": mid_us, "pid": 0, "tid": tid,
+            })
+        for fid in s.attrs.get("flows_in", ()):
+            flows.append({
+                "name": "msg", "cat": "flow", "ph": "f", "bp": "e",
+                "id": fid, "ts": mid_us, "pid": 0, "tid": tid,
+            })
     doc = {
-        "traceEvents": events,
+        "traceEvents": events + flows,
         "displayTimeUnit": "ms",
         "otherData": {
             "format": NATIVE_FORMAT,
+            "version": NATIVE_VERSION,
+            "epoch_wall_s": tr.epoch_wall_s,
             "metrics": reg.snapshot(),
         },
     }
@@ -231,8 +261,11 @@ def write_trace(path: str, fmt: str = "json",
 def _spans_from_chrome(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Rebuild span records (with parents) from chrome X events.
 
-    Parenthood is recovered per track by interval containment: events
-    on one tid are sorted by start time and nested with a stack.
+    Files written by :func:`export_chrome` carry the native span
+    identity as top-level ``sid``/``spid``/``t0``/``d`` fields; those
+    round-trip losslessly.  Foreign chrome files fall back to per-track
+    interval containment: events on one tid are sorted by start time
+    and nested with a stack.
     """
     tid_names: Dict[Any, str] = {}
     xs = []
@@ -241,6 +274,23 @@ def _spans_from_chrome(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
             tid_names[ev.get("tid")] = ev.get("args", {}).get("name", "")
         elif ev.get("ph") == "X":
             xs.append(ev)
+    if xs and all("sid" in ev for ev in xs):
+        spans = [
+            {
+                "span_id": ev["sid"],
+                "parent_id": ev.get("spid"),
+                "name": ev["name"],
+                "start_s": ev["t0"],
+                "duration_s": ev["d"],
+                "thread": tid_names.get(
+                    ev.get("tid", 0), f"tid-{ev.get('tid', 0)}"
+                ),
+                "attrs": dict(ev.get("args", {})),
+            }
+            for ev in xs
+        ]
+        spans.sort(key=lambda s: (s["start_s"], s["span_id"]))
+        return spans
     xs.sort(key=lambda e: (e.get("tid", 0), e["ts"], -e.get("dur", 0)))
     spans: List[Dict[str, Any]] = []
     stack: List[Dict[str, Any]] = []  # open spans on the current tid
@@ -279,12 +329,15 @@ def load_trace(path: str) -> Dict[str, Any]:
         return doc
     if isinstance(doc, dict) and "traceEvents" in doc:
         other = doc.get("otherData") or {}
-        return {
+        native: Dict[str, Any] = {
             "format": NATIVE_FORMAT,
-            "version": NATIVE_VERSION,
+            "version": other.get("version", NATIVE_VERSION),
             "spans": _spans_from_chrome(doc["traceEvents"]),
             "metrics": other.get("metrics") or {},
         }
+        if "epoch_wall_s" in other:
+            native["epoch_wall_s"] = other["epoch_wall_s"]
+        return native
     # a bare chrome event array is also legal trace_event JSON
     if isinstance(doc, list):
         return {

@@ -17,6 +17,7 @@ instrumented code paths are free when observability is off.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from typing import Any, Dict, List, Tuple
 
 __all__ = [
@@ -67,9 +68,36 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._enabled = False
         self._lock = threading.Lock()
+        self._tls = threading.local()
         self._counters: Dict[_SeriesKey, float] = {}
         self._gauges: Dict[_SeriesKey, float] = {}
         self._hists: Dict[_SeriesKey, List[float]] = {}
+
+    def _merged(self, labels: Dict[str, Any]) -> Dict[str, Any]:
+        """Thread-context labels under the explicit ones (explicit wins)."""
+        ctx = getattr(self._tls, "ctx", None)
+        if not ctx:
+            return labels
+        merged = dict(ctx)
+        merged.update(labels)
+        return merged
+
+    @contextmanager
+    def scope(self, **labels: Any):
+        """Auto-label every metric written on this thread in the block.
+
+        Mirror of :meth:`Tracer.scope`: the simulated MPI runtime binds
+        ``scope(rank=r)`` per rank thread so counters emitted deep in
+        the exchange stack carry per-rank series labels.
+        """
+        prev = getattr(self._tls, "ctx", None)
+        merged = dict(prev) if prev else {}
+        merged.update(labels)
+        self._tls.ctx = merged
+        try:
+            yield
+        finally:
+            self._tls.ctx = prev
 
     # -- state -----------------------------------------------------------
     @property
@@ -93,7 +121,7 @@ class MetricsRegistry:
         """Add ``value`` to the counter series (no-op while disabled)."""
         if not self._enabled:
             return
-        key = _key(name, labels)
+        key = _key(name, self._merged(labels))
         with self._lock:
             self._counters[key] = self._counters.get(key, 0) + value
 
@@ -101,7 +129,7 @@ class MetricsRegistry:
         """Set the gauge series to ``value`` (no-op while disabled)."""
         if not self._enabled:
             return
-        key = _key(name, labels)
+        key = _key(name, self._merged(labels))
         with self._lock:
             self._gauges[key] = value
 
@@ -109,7 +137,7 @@ class MetricsRegistry:
         """Record one histogram observation (no-op while disabled)."""
         if not self._enabled:
             return
-        key = _key(name, labels)
+        key = _key(name, self._merged(labels))
         with self._lock:
             self._hists.setdefault(key, []).append(value)
 
@@ -126,6 +154,25 @@ class MetricsRegistry:
         return sum(
             v for (n, _), v in self._counters.items() if n == name
         )
+
+    def counter_by_label(self, name: str, label: str) -> Dict[Any, float]:
+        """Per-label-value sums of one counter metric.
+
+        ``counter_by_label("comm.bytes_sent", "rank")`` returns
+        ``{0: ..., 1: ...}`` — the per-rank traffic regardless of any
+        other labels on the series.  Series without the label are
+        skipped.
+        """
+        out: Dict[Any, float] = {}
+        with self._lock:
+            for (n, labels), v in self._counters.items():
+                if n != name:
+                    continue
+                for k, val in labels:
+                    if k == label:
+                        out[val] = out.get(val, 0) + v
+                        break
+        return out
 
     def histogram_values(self, name: str, **labels: Any) -> List[float]:
         return list(self._hists.get(_key(name, labels), ()))

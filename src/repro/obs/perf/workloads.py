@@ -177,9 +177,26 @@ def _exchange_workload(bench_name: str, steps: int = 2) -> Workload:
             demo.ir, init, steps, grid, boundary="periodic"
         )
         reg = obs.registry()
+        # structural distributed-trace metrics: the longest logical
+        # span chain and its rank crossings are program-deterministic
+        # under fixed seeds (zero MAD), so the gate can regress on an
+        # added synchronisation point or lost overlap
+        from ...obs.distributed import (
+            DistributedTrace,
+            extract_critical_path,
+            imbalance_report,
+        )
+
+        dt = DistributedTrace.from_live(obs.tracer(), reg)
+        cp = extract_critical_path(dt)
+        imb = imbalance_report(dt)
         return WorkloadOutput(metrics={
             "comm.bytes_sent": reg.counter_total("comm.bytes_sent"),
             "comm.messages": reg.counter_total("comm.messages"),
+            "critpath.spans": float(cp.chain_spans),
+            "critpath.crossings": float(cp.chain_crossings),
+            "critpath.flow_edges": float(cp.flow_edges),
+            "imbalance.bytes_skew": imb.bytes_skew,
             "result.l2": float(np.linalg.norm(result)),
         })
 
@@ -190,6 +207,12 @@ def _exchange_workload(bench_name: str, steps: int = 2) -> Workload:
         metric_specs={
             "comm.bytes_sent": MetricSpec("B", "lower", gate=True),
             "comm.messages": MetricSpec("msgs", "lower", gate=True),
+            "critpath.spans": MetricSpec("spans", "lower", gate=True),
+            "critpath.crossings": MetricSpec("edges", "lower",
+                                             gate=True),
+            "critpath.flow_edges": MetricSpec("edges", "lower",
+                                              gate=True),
+            "imbalance.bytes_skew": MetricSpec("x", "lower", gate=True),
             "result.l2": MetricSpec("", "higher", gate=False),
         },
         meta={

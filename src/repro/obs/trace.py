@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -40,6 +41,7 @@ __all__ = [
     "disable",
     "is_enabled",
     "reset",
+    "attach_flow",
 ]
 
 
@@ -123,6 +125,12 @@ class _SpanContext:
 
     def __enter__(self) -> _ActiveSpan:
         tr = self._tracer
+        ctx = getattr(tr._tls, "ctx", None)
+        if ctx:
+            # thread-context attrs (e.g. rank=) under explicit ones
+            merged = dict(ctx)
+            merged.update(self._attrs)
+            self._attrs = merged
         stack = tr._stack()
         parent = stack[-1].span_id if stack else None
         with tr._lock:
@@ -229,6 +237,41 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    @contextmanager
+    def scope(self, **attrs: Any):
+        """Auto-tag every span opened on this thread inside the block.
+
+        Context attrs sit *under* a span's explicit attrs (explicit
+        wins); scopes nest, the inner block shadowing key-by-key.  The
+        simulated MPI runtime binds ``scope(rank=r)`` around each rank
+        thread so all spans it emits carry per-rank attribution.
+        """
+        prev = getattr(self._tls, "ctx", None)
+        merged = dict(prev) if prev else {}
+        merged.update(attrs)
+        self._tls.ctx = merged
+        try:
+            yield
+        finally:
+            self._tls.ctx = prev
+
+    def attach_flow(self, direction: str, flow_id: str) -> None:
+        """Append a message-flow id to the innermost open span.
+
+        ``direction`` is ``"send"`` or ``"recv"``; the id lands in the
+        span's ``flows_out``/``flows_in`` list attribute, from which the
+        Chrome exporter emits ``ph: "s"/"f"`` flow events and the
+        critical-path extractor builds cross-rank edges.  No-op while
+        disabled or when no span is open on the calling thread.
+        """
+        if not self._enabled:
+            return
+        cur = self.current_span()
+        if cur is None:
+            return
+        key = "flows_out" if direction == "send" else "flows_in"
+        cur.attrs.setdefault(key, []).append(flow_id)
+
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
         return len(self.records)
@@ -277,3 +320,8 @@ def is_enabled() -> bool:
 
 def reset() -> None:
     _TRACER.reset()
+
+
+def attach_flow(direction: str, flow_id: str) -> None:
+    """Record a message-flow id on the global tracer's current span."""
+    _TRACER.attach_flow(direction, flow_id)

@@ -35,6 +35,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import rank_scope, span
+from ..obs.trace import attach_flow
+from ..obs.trace import is_enabled as _trace_enabled
+
 __all__ = [
     "SimMPIError",
     "SimMPITimeout",
@@ -74,7 +78,8 @@ class _World:
     def __init__(self, size: int, injector=None):
         self.size = size
         self.lock = threading.Condition()
-        # mailbox per destination: deque of (source, tag, ndarray copy)
+        # mailbox per destination: deque of
+        # (source, tag, ndarray copy, flow id or None)
         self.mail: List[deque] = [deque() for _ in range(size)]
         self.barrier = threading.Barrier(size)
         self.bcast_slots: Dict[int, Any] = {}
@@ -87,14 +92,32 @@ class _World:
         self.events = 0
         # traffic accounting (bytes by (src, dst))
         self.traffic: Dict[Tuple[int, int], int] = {}
+        # per-(src, dst, tag) monotonically increasing message sequence
+        # numbers — the flow identity stamped on send and recv spans
+        self._flow_seq: Dict[Tuple[int, int, int], int] = {}
+
+    def _flow_id(self, source: int, dest: int, tag: int) -> str:
+        """Allocate the next ``(src, dst, tag, seq)`` flow identity.
+
+        Every *physical* send gets a fresh seq (a retransmission is a
+        new flow; an injected duplicate shares its original's), so a
+        flow edge in the merged timeline always names the copy the
+        receiver actually consumed.
+        """
+        key = (source, dest, tag)
+        with self.lock:
+            seq = self._flow_seq.get(key, 0)
+            self._flow_seq[key] = seq + 1
+        return f"{source}>{dest}:{tag}#{seq}"
 
     def _deliver(self, source: int, dest: int, tag: int,
-                 data: np.ndarray, front: bool = False) -> None:
+                 data: np.ndarray, flow: Optional[str] = None,
+                 front: bool = False) -> None:
         with self.lock:
             if front:
-                self.mail[dest].appendleft((source, tag, data))
+                self.mail[dest].appendleft((source, tag, data, flow))
             else:
-                self.mail[dest].append((source, tag, data))
+                self.mail[dest].append((source, tag, data, flow))
             key = (source, dest)
             self.traffic[key] = self.traffic.get(key, 0) + data.nbytes
             self.events += 1
@@ -110,7 +133,21 @@ class _World:
         self.barrier.abort()
 
     def post(self, source: int, dest: int, tag: int,
-             data: np.ndarray, reliable: bool = False) -> None:
+             data: np.ndarray, reliable: bool = False,
+             track_flow: Optional[bool] = None) -> Optional[str]:
+        """Send one message; returns its flow id when tracked.
+
+        Data-plane messages are flow-tracked while tracing is enabled
+        (control-plane ``reliable`` traffic is not, unless forced via
+        ``track_flow=True``): each physical copy posted here carries a
+        ``(src, dst, tag, seq)`` identity that the receiver's span
+        records, giving the merged timeline its cross-rank edges.
+        """
+        track = (not reliable) if track_flow is None else track_flow
+        flow = (
+            self._flow_id(source, dest, tag)
+            if track and _trace_enabled() else None
+        )
         inj = self.injector
         if inj is not None:
             if inj.crash_due(source):
@@ -121,37 +158,38 @@ class _World:
             if not reliable:
                 verdict = inj.on_message(source, dest, tag)
                 if verdict.drop:
-                    return
+                    return flow
                 copies = 2 if verdict.duplicate else 1
                 if verdict.delay_s > 0.0:
                     for _ in range(copies):
                         timer = threading.Timer(
                             verdict.delay_s, self._deliver,
-                            args=(source, dest, tag, data),
+                            args=(source, dest, tag, data, flow),
                             kwargs={"front": verdict.reorder},
                         )
                         timer.daemon = True
                         timer.start()
-                    return
+                    return flow
                 for _ in range(copies):
-                    self._deliver(source, dest, tag, data,
+                    self._deliver(source, dest, tag, data, flow,
                                   front=verdict.reorder)
-                return
-        self._deliver(source, dest, tag, data)
+                return flow
+        self._deliver(source, dest, tag, data, flow)
+        return flow
 
     def take(self, dest: int, source: int, tag: int,
-             timeout: float) -> Tuple[int, int, np.ndarray]:
+             timeout: float) -> Tuple[int, int, np.ndarray, Optional[str]]:
         deadline = (
             None if timeout is None else time.monotonic() + timeout
         )
         with self.lock:
             while True:
                 box = self.mail[dest]
-                for idx, (src, tg, data) in enumerate(box):
+                for idx, (src, tg, data, flow) in enumerate(box):
                     if (source in (ANY_SOURCE, src)
                             and tag in (ANY_TAG, tg)):
                         del box[idx]
-                        return src, tg, data
+                        return src, tg, data, flow
                 if self.crashed:
                     names = ",".join(str(r) for r in sorted(self.crashed))
                     raise SimMPIError(
@@ -231,6 +269,9 @@ class Communicator:
         self._world = world
         self.rank = rank
         self.size = world.size
+        # recv flows parked by defer_flow receives (see Recv) — this
+        # rank's thread only, so a plain list is safe
+        self._parked_flows: List[str] = []
 
     # -- rank info (mpi4py spelling) ------------------------------------------
     def Get_rank(self) -> int:
@@ -262,20 +303,31 @@ class Communicator:
         """
         self._check_peer(dest)
         data = np.ascontiguousarray(buf).copy()
-        self._world.post(self.rank, dest, tag, data, reliable=reliable)
+        flow = self._world.post(self.rank, dest, tag, data,
+                                reliable=reliable)
+        if flow is not None:
+            attach_flow("send", flow)
 
     def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE,
-             tag: int = ANY_TAG,
-             timeout: float = _DEFAULT_TIMEOUT) -> Tuple[int, int, int]:
+             tag: int = ANY_TAG, timeout: float = _DEFAULT_TIMEOUT,
+             defer_flow: bool = False) -> Tuple[int, int, int]:
         """Receive into ``buf``; returns (source, tag, count).
 
         As in MPI, the message may be *smaller* than the receive buffer
         (the prefix is filled and ``count`` reports the element count);
         a larger message is a truncation error.
+
+        A flow-tracked message's id is recorded on the innermost open
+        span — unless ``defer_flow`` is set, which parks it for
+        :meth:`pop_parked_flow` so a caller completing receives inside
+        a progress loop (the resilient exchanger) can re-home the flow
+        onto the span that actually consumes the data.
         """
         if source != ANY_SOURCE:
             self._check_peer(source)
-        src, tg, data = self._world.take(self.rank, source, tag, timeout)
+        src, tg, data, flow = self._world.take(
+            self.rank, source, tag, timeout
+        )
         flat = buf.reshape(-1)
         if data.size > flat.size:
             raise SimMPIError(
@@ -284,7 +336,16 @@ class Communicator:
                 f"only {flat.size}"
             )
         flat[: data.size] = data.reshape(-1)
+        if flow is not None:
+            if defer_flow:
+                self._parked_flows.append(flow)
+            else:
+                attach_flow("recv", flow)
         return src, tg, data.size
+
+    def pop_parked_flow(self) -> Optional[str]:
+        """Oldest flow id parked by a ``defer_flow`` receive, if any."""
+        return self._parked_flows.pop(0) if self._parked_flows else None
 
     def Isend(self, buf: np.ndarray, dest: int, tag: int = 0,
               reliable: bool = False) -> Request:
@@ -293,11 +354,12 @@ class Communicator:
         return Request(done=True)
 
     def Irecv(self, buf: np.ndarray, source: int = ANY_SOURCE,
-              tag: int = ANY_TAG) -> Request:
+              tag: int = ANY_TAG, defer_flow: bool = False) -> Request:
         """Nonblocking receive completing at Wait()."""
 
         def complete(timeout: float):
-            return self.Recv(buf, source, tag, timeout=timeout)
+            return self.Recv(buf, source, tag, timeout=timeout,
+                             defer_flow=defer_flow)
 
         return Request(fn=complete, done=False)
 
@@ -372,17 +434,24 @@ class Communicator:
             out: List[Any] = [None] * self.size
             out[self.rank] = obj
             for _ in range(self.size - 1):
-                src, _, data = self._world.take(
+                src, _, data, flow = self._world.take(
                     self.rank, ANY_SOURCE, tag, _DEFAULT_TIMEOUT
                 )
+                if flow is not None:
+                    attach_flow("recv", flow)
                 out[src] = data.item(0)
             return out
         # objects ride the numpy mailbox inside 1-element object arrays;
         # collectives travel the reliable channel (only point-to-point
-        # halo traffic is subject to message faults)
+        # halo traffic is subject to message faults).  Gather payloads
+        # are still flow-tracked: the root's collect genuinely depends
+        # on every rank, and the critical path should see that.
         box = np.empty(1, dtype=object)
         box[0] = obj
-        self._world.post(self.rank, root, tag, box, reliable=True)
+        flow = self._world.post(self.rank, root, tag, box,
+                                reliable=True, track_flow=True)
+        if flow is not None:
+            attach_flow("send", flow)
         return None
 
     # -- topology -----------------------------------------------------------------
@@ -523,10 +592,15 @@ def run_ranks(nprocs: int, main: Callable[[Communicator], Any],
 
     def entry(rank: int) -> None:
         try:
-            comm: Communicator = Communicator(world, rank)
-            if cart_dims is not None:
-                comm = CartComm(world, rank, tuple(cart_dims), periods)
-            results[rank] = main(comm)
+            # every span/counter on this thread carries rank=, under a
+            # per-rank root span — the merged-timeline track for this
+            # rank (see repro.obs.distributed)
+            with rank_scope(rank), span("runtime.rank", rank=rank):
+                comm: Communicator = Communicator(world, rank)
+                if cart_dims is not None:
+                    comm = CartComm(world, rank, tuple(cart_dims),
+                                    periods)
+                results[rank] = main(comm)
         except BaseException as exc:  # noqa: BLE001 - report to caller
             errors.append((rank, exc))
             world.failed.set()

@@ -336,3 +336,124 @@ class TestTraceCLI:
         out = capsys.readouterr().out
         assert "codegen [" not in out
         assert "distributed exchange" not in out
+
+
+class TestCritpathCLI:
+    """``repro critpath`` and the distributed views of ``repro trace``."""
+
+    @pytest.fixture
+    def dist_trace(self, tmp_path):
+        """A merged 2x2 distributed trace file, written natively."""
+        import numpy as np
+
+        from repro import obs
+        from repro.comm.exchange import AsyncHaloExchanger
+        from repro.comm.halo import HaloSpec
+        from repro.obs import capture
+        from repro.obs.export import write_trace
+        from repro.runtime.simmpi import run_ranks
+
+        def rank_main(comm):
+            spec = HaloSpec((12, 12), (1, 1))
+            ex = AsyncHaloExchanger(comm, spec)
+            plane = np.full(spec.padded_shape, float(comm.rank))
+            for _ in range(2):
+                ex.exchange(plane)
+            return comm.gather(float(plane.sum()))
+
+        try:
+            with capture() as (tr, reg):
+                run_ranks(4, rank_main, cart_dims=(2, 2),
+                          periods=(True, True))
+            path = tmp_path / "dist.json"
+            write_trace(str(path), "json", tr, reg)
+        finally:
+            obs.disable()
+            obs.reset()
+        return str(path)
+
+    def test_critpath_reports_cross_rank_path(self, dist_trace, capsys):
+        assert main(["critpath", dist_trace]) == 0
+        out = capsys.readouterr().out
+        assert "CRITICAL PATH" in out
+        assert "<- flow" in out  # the path crosses ranks via messages
+        assert "PER-RANK SUMMARY" in out
+
+    def test_critpath_json(self, dist_trace, capsys):
+        import json
+
+        assert main(["critpath", dist_trace, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ranks"] == [0, 1, 2, 3]
+        cp = doc["critical_path"]
+        assert cp["flow_edges"] > 0
+        assert cp["chain_crossings"] >= 1
+        path_ranks = {
+            seg["rank"] for seg in cp["segments"]
+            if seg["rank"] is not None
+        }
+        assert len(path_ranks) >= 2  # the acceptance bar
+        assert doc["imbalance"]["bytes_skew"] == 1.0
+
+    def test_critpath_rejects_malformed_dag(self, tmp_path, capsys):
+        import json
+
+        # an inbound flow nobody sent: a malformed (orphan) edge
+        doc = {
+            "format": "repro-trace", "version": 1,
+            "spans": [{
+                "span_id": 1, "parent_id": None, "name": "comm.wait",
+                "start_s": 0.0, "duration_s": 1.0,
+                "thread": "simmpi-rank-0",
+                "attrs": {"rank": 0, "flows_in": ["9>0:5#0"]},
+            }],
+            "metrics": {},
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        assert main(["critpath", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "malformed" in err and "orphan" in err
+
+    def test_critpath_missing_file(self, capsys):
+        assert main(["critpath", "/nonexistent-trace.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_by_rank_table_only(self, dist_trace, capsys):
+        assert main(["trace", dist_trace, "--by-rank"]) == 0
+        out = capsys.readouterr().out
+        assert "PER-RANK SUMMARY" in out
+        assert "TRACE SUMMARY" not in out
+
+    def test_trace_default_appends_by_rank_when_multirank(
+            self, dist_trace, capsys):
+        assert main(["trace", dist_trace]) == 0
+        out = capsys.readouterr().out
+        assert "TRACE SUMMARY" in out
+        assert "PER-RANK SUMMARY" in out
+
+    def test_trace_distributed_adds_critical_path(self, dist_trace,
+                                                  capsys):
+        assert main(["trace", dist_trace, "--distributed"]) == 0
+        out = capsys.readouterr().out
+        assert "CRITICAL PATH" in out
+        assert "flow edges" in out
+
+    def test_single_rank_trace_stays_plain(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs import capture, span
+        from repro.obs.export import write_trace
+
+        try:
+            with capture() as (tr, reg):
+                with span("app.work"):
+                    pass
+            path = tmp_path / "solo.json"
+            write_trace(str(path), "json", tr, reg)
+        finally:
+            obs.disable()
+            obs.reset()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "TRACE SUMMARY" in out
+        assert "PER-RANK SUMMARY" not in out

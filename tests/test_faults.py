@@ -191,6 +191,100 @@ class TestResilientExchange:
                       faults="drop:p=1.0")
 
 
+class TestFlowEdgesUnderFaults:
+    """Message-flow correlation must stay honest when the fabric lies.
+
+    A dropped strip's retransmission is a *new* physical message, so
+    its flow edge must land on the ``comm.retry`` span that posted it
+    — never on the original ``comm.send`` — while the dropped copy
+    stays a legal dangling outbound edge.  These properties must hold
+    for any ``REPRO_FAULT_SEED``.
+    """
+
+    def _traced_faulty_run(self, spec, steps=3):
+        from repro.obs.distributed import DistributedTrace
+
+        with capture() as (tr, reg):
+            _, inj = _faulty_run(spec, steps=steps)
+        return DistributedTrace.from_live(tr, reg), inj
+
+    def test_trace_well_formed_under_drops(self):
+        dt, inj = self._traced_faulty_run("drop:p=0.25")
+        assert inj.counts["drop"] > 0
+        assert dt.validate() == []
+        assert not dt.orphan_in
+
+    def test_retransmission_flows_land_on_retry_spans(self):
+        dt, inj = self._traced_faulty_run("drop:p=0.3")
+        assert inj.counts["drop"] > 0
+        producer_names = {
+            dt.by_id[e.src_span]["name"] for e in dt.edges
+        }
+        assert "comm.retry" in producer_names
+        # every matched flow was produced by a send-like span (gather
+        # payloads ride the reliable plane but are still flow-tracked),
+        # and the dropped originals survive only as dangling edges
+        assert producer_names <= {
+            "comm.send", "comm.retry", "runtime.gather"
+        }
+        assert dt.dangling_out
+        dangling_producers = {
+            dt.by_id[dt.producers[f]]["name"] for f in dt.dangling_out
+        }
+        assert "comm.send" in dangling_producers
+
+    def test_resilient_consumers_are_unpack_spans(self):
+        # defer_flow re-homing: the posted-early Irecv must credit the
+        # comm.unpack span that actually consumed the strip, not the
+        # enclosing comm.exchange
+        dt, _ = self._traced_faulty_run("drop:p=0.0")
+        consumer_names = {
+            dt.by_id[e.dst_span]["name"] for e in dt.edges
+        }
+        assert "comm.unpack" in consumer_names
+        assert "comm.exchange" not in consumer_names
+
+    def test_duplicate_delivery_shares_one_flow_id(self):
+        # an injected duplicate is the *same* physical message twice,
+        # so both deliveries carry the original flow id — two
+        # consumers, one producer, and the trace stays well-formed
+        from repro.obs.distributed import DistributedTrace
+        from repro.obs import capture, span
+
+        def main(comm):
+            if comm.rank == 0:
+                with span("app.send"):
+                    comm.Send(np.array([5.0]), dest=1)
+                return None
+            buf = np.zeros(1)
+            with span("app.recv1"):
+                comm.Recv(buf, source=0, timeout=2.0)
+            with span("app.recv2"):
+                comm.Recv(buf, source=0, timeout=2.0)
+            return buf[0]
+
+        with capture() as (tr, reg):
+            run_ranks(2, main, faults="dup:p=1.0")
+        dt = DistributedTrace.from_live(tr, reg)
+        assert dt.validate() == []  # two consumers per id are legal
+        dup_ids = [f for f, c in dt.consumers.items() if len(c) == 2]
+        assert len(dup_ids) == 1
+        consumer_names = {
+            dt.by_id[s]["name"] for s in dt.consumers[dup_ids[0]]
+        }
+        assert consumer_names == {"app.recv1", "app.recv2"}
+
+    def test_stale_duplicates_do_not_orphan_the_trace(self):
+        dt, inj = self._traced_faulty_run("dup:p=0.3")
+        assert inj.counts["dup"] > 0
+        assert dt.validate() == []
+
+    def test_flow_edges_cross_ranks_under_faults(self):
+        dt, _ = self._traced_faulty_run("drop:p=0.2,dup:p=0.1")
+        assert dt.validate() == []
+        assert any(e.crosses_ranks for e in dt.edges)
+
+
 class TestWorldFaultPlumbing:
     def test_run_ranks_accepts_spec_string(self):
         def main(comm):

@@ -7,6 +7,10 @@ import time
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck as _HealthCheck
+from hypothesis import given as _given
+from hypothesis import settings as _settings
+from hypothesis import strategies as _st
 
 from repro import obs
 from repro.obs import (
@@ -492,3 +496,93 @@ class TestNoopIsFree:
         # generous bound: CI machines are noisy, but a recording path
         # (allocation + lock) would be >50x a bare call
         assert disabled < base * 25 + 5e-3
+
+
+class TestChromeRoundTripProperty:
+    """``load_trace`` of a chrome export equals the native export.
+
+    The chrome writer stamps every X event with the native span
+    identity (``sid``/``spid``/``t0``/``d``), so the round trip must be
+    *lossless* — exact ids, parents, float timestamps, attrs and
+    metrics — for any trace, not just ones our pipeline happens to
+    produce.
+    """
+
+    @staticmethod
+    def _fresh_pair():
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        tr = Tracer()
+        reg = MetricsRegistry()
+        reg.enable()
+        return tr, reg
+
+    @_given(_st.data())
+    @_settings(
+        max_examples=60, deadline=None,
+        suppress_health_check=[
+            _HealthCheck.too_slow, _HealthCheck.function_scoped_fixture,
+        ],
+    )
+    def test_chrome_export_round_trips_losslessly(self, data):
+        import tempfile
+
+        from repro.obs.trace import Span
+
+        attr_values = _st.one_of(
+            _st.integers(-1000, 1000),
+            _st.floats(allow_nan=False, allow_infinity=False,
+                       width=32).map(float),
+            _st.text("xyz_", max_size=6),
+            _st.booleans(),
+            _st.none(),
+            _st.lists(_st.text("0123456789>:#", min_size=1, max_size=8),
+                      max_size=3),
+        )
+        # keys stay clear of the reserved flows_out/flows_in, whose
+        # values must be flow-id lists
+        attrs = _st.dictionaries(
+            _st.text("abcdef", min_size=1, max_size=4), attr_values,
+            max_size=3,
+        )
+        threads = _st.sampled_from(
+            ["MainThread", "simmpi-rank-0", "simmpi-rank-1"]
+        )
+
+        tr, reg = self._fresh_pair()
+        n = data.draw(_st.integers(0, 12), label="n_spans")
+        for sid in range(1, n + 1):
+            a = data.draw(attrs, label=f"attrs{sid}")
+            if data.draw(_st.booleans(), label=f"flow{sid}"):
+                a["flows_out"] = data.draw(
+                    _st.lists(_st.sampled_from(["0>1:5#0", "1>0:5#1"]),
+                              max_size=2),
+                    label=f"flows{sid}",
+                )
+            tr.records.append(Span(
+                span_id=sid,
+                parent_id=data.draw(
+                    _st.one_of(_st.none(), _st.integers(1, max(1, sid))),
+                    label=f"parent{sid}",
+                ),
+                name=data.draw(_st.text("abc.", min_size=1, max_size=8),
+                               label=f"name{sid}"),
+                start_s=data.draw(
+                    _st.floats(0, 100, allow_nan=False), label=f"t{sid}"
+                ),
+                duration_s=data.draw(
+                    _st.floats(0, 10, allow_nan=False), label=f"d{sid}"
+                ),
+                thread=data.draw(threads, label=f"th{sid}"),
+                attrs=a,
+            ))
+        for i in range(data.draw(_st.integers(0, 3), label="n_ctr")):
+            reg.counter(f"c{i}", data.draw(_st.integers(0, 99),
+                                           label=f"v{i}"))
+
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".chrome.json", delete=False
+        ) as fh:
+            fh.write(export_chrome(tr, reg))
+        assert load_trace(fh.name) == json.loads(export_json(tr, reg))
