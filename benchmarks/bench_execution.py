@@ -69,6 +69,7 @@ def test_compiled_c_throughput(benchmark, setup, tmp_path):
         ["gcc", "-O2", "-fopenmp", "-o", str(exe),
          str(tmp_path / "bench3d.c"), "-lm"],
         check=True, capture_output=True,
+        timeout=300,
     )
     init_file = tmp_path / "init.bin"
     out_file = tmp_path / "out.bin"
@@ -78,6 +79,7 @@ def test_compiled_c_throughput(benchmark, setup, tmp_path):
         subprocess.run(
             [str(exe), str(init_file), "2", str(out_file)],
             check=True, capture_output=True,
+            timeout=300,
         )
 
     benchmark(run_binary)

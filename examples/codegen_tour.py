@@ -47,6 +47,7 @@ def main():
             subprocess.run(
                 ["make", "-C", str(tmp), "single"], check=True,
                 capture_output=True,
+                timeout=300,
             )
             np.concatenate([p.ravel() for p in init0]).tofile(
                 str(tmp / "init.bin")
@@ -55,6 +56,7 @@ def main():
                 [str(tmp / "hpgmg_3d13pt"), str(tmp / "init.bin"), "3",
                  str(tmp / "out.bin")],
                 check=True,
+                timeout=300,
             )
             got_sw = np.fromfile(str(tmp / "out.bin")).reshape(shape)
         ref_sw = reference_run(prog.ir, init0, 3, boundary="zero")
@@ -83,6 +85,7 @@ def main():
             ["gcc", "-O2", "-fopenmp", "-o", str(tmp / "prog"),
              str(tmp / "cpu_3d13pt.c"), "-lm"],
             check=True,
+            timeout=300,
         )
         np.concatenate([p.ravel() for p in init]).tofile(
             str(tmp / "init.bin")
@@ -91,6 +94,7 @@ def main():
             [str(tmp / "prog"), str(tmp / "init.bin"), "5",
              str(tmp / "out.bin")],
             check=True,
+            timeout=300,
         )
         got = np.fromfile(str(tmp / "out.bin")).reshape(32, 32, 32)
 
@@ -116,6 +120,7 @@ def main():
              str(tmp / "dist_3d13pt_mpi.c"), str(tmp / "msc_comm.c"),
              "-o", str(tmp / "prog"), "-lm", "-I", str(tmp)],
             check=True,
+            timeout=300,
         )
         rng2 = np.random.default_rng(7)
         init2 = [rng2.random((24, 24, 24)) for _ in range(2)]
@@ -126,6 +131,7 @@ def main():
             [str(tmp / "prog"), str(tmp / "init.bin"), "4",
              str(tmp / "out.bin")],
             check=True,
+            timeout=300,
         )
         got_mpi = np.fromfile(str(tmp / "out.bin")).reshape(24, 24, 24)
     ref_mpi = reference_run(dist_prog.ir, init2, 4, boundary="periodic")

@@ -7,7 +7,19 @@ executable numpy backend used to run and verify schedules in-process.
 
 from .c_codegen import CCodeGenerator, GeneratedCode, render_expr_c
 from .sunway import SunwayCodeGenerator, generate_sunway
-from .makefile import generate_makefile, TOOLCHAINS
+from .makefile import generate_makefile, toolchain_cflags, TOOLCHAINS
+from .native import (
+    ArtifactCache,
+    NativeBuildError,
+    NativeExecutor,
+    NativeRunError,
+    NativeUnavailable,
+    SharedLibGenerator,
+    build_artifact,
+    native_available,
+    run_binary,
+    select_backend,
+)
 from .targets import generate, KNOWN_TARGETS
 from .temporal_exec import TemporalTilingExecutor
 from .pipeline_exec import PipelineExecutor, distributed_pipeline_run
@@ -24,7 +36,11 @@ from .numpy_backend import (
 __all__ = [
     "CCodeGenerator", "GeneratedCode", "render_expr_c",
     "SunwayCodeGenerator", "generate_sunway",
-    "generate_makefile", "TOOLCHAINS",
+    "generate_makefile", "toolchain_cflags", "TOOLCHAINS",
+    "ArtifactCache", "NativeBuildError", "NativeExecutor",
+    "NativeRunError", "NativeUnavailable", "SharedLibGenerator",
+    "build_artifact", "native_available", "run_binary",
+    "select_backend",
     "generate", "KNOWN_TARGETS",
     "BOUNDARY_CONDITIONS", "ScheduledExecutor", "evaluate_kernel",
     "fill_halo", "reference_run",

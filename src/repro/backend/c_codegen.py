@@ -106,7 +106,10 @@ def render_expr_c(expr: Expr,
     """
     if isinstance(expr, ConstExpr):
         if isinstance(expr.value, float):
-            return repr(expr.value)
+            # cast to the working precision so fp32 programs do their
+            # arithmetic in float (C would otherwise promote every
+            # double literal and drift bitwise from the numpy backend)
+            return f"((real){expr.value!r})"
         return str(expr.value)
     if isinstance(expr, VarExpr):
         return expr.name
@@ -166,10 +169,10 @@ class CCodeGenerator:
                 f"kernel(s) read runtime scalars {missing} with no bound "
                 "values; pass scalars={...} (or set_scalar on the program)"
             )
-        if boundary not in ("zero", "periodic"):
+        if boundary not in ("zero", "periodic", "reflect"):
             raise ValueError(
-                f"C backend supports zero/periodic boundaries, got "
-                f"{boundary!r}"
+                f"C backend supports zero/periodic/reflect boundaries, "
+                f"got {boundary!r}"
             )
         self.stencil = stencil
         self.boundary = boundary
@@ -298,6 +301,11 @@ class CCodeGenerator:
                     if self.boundary == "periodic":
                         src_lo.append(f"{pnames[dd]} - 2 * {hnames[dd]} + h")
                         src_hi.append(f"2 * {hnames[dd]} - 1 - h")
+                    elif self.boundary == "reflect":
+                        # mirror the near interior (matches numpy
+                        # fill_halo: lo[i] = p[2H-1-i], hi[i] = p[P-H-1-i])
+                        src_lo.append(f"2 * {hnames[dd]} - 1 - h")
+                        src_hi.append(f"{pnames[dd]} - 2 * {hnames[dd]} + h")
                     else:
                         src_lo.append("0")
                         src_hi.append("0")
@@ -308,7 +316,7 @@ class CCodeGenerator:
                     src_hi.append(v)
             inner = f"for (long h = 0; h < {hnames[d]}; h++) {{"
             out_name = out.name
-            if self.boundary == "periodic":
+            if self.boundary in ("periodic", "reflect"):
                 lo_stmt = (
                     f"AT_{out_name}(p, {', '.join(idx_lo)}) = "
                     f"AT_{out_name}(p, {', '.join(src_lo)});"
@@ -332,6 +340,58 @@ class CCodeGenerator:
             + "\n".join(body)
             + "\n}"
         )
+
+    def _valid_region_loops(
+        self, indent: int = 2
+    ) -> Tuple[List[str], List[str], str, str]:
+        """Loop scaffolding over the valid (unpadded) region.
+
+        Returns ``(loop_open, loop_close, flat, shifted)``: opening and
+        closing brace lines indented starting at ``indent`` levels,
+        ``flat`` — the dense index into a valid-region buffer, and
+        ``shifted`` — the halo-shifted index list into a padded plane.
+        Shared by the file-I/O ``main`` and the shared-library entry.
+        """
+        names = ["NZ", "NY", "NX"][-self.ndim:]
+        hnames = ["HZ", "HY", "HX"][-self.ndim:]
+        dims = ["k", "j", "i"][-self.ndim:]
+        loop_open = []
+        loop_close = []
+        for d, v in enumerate(dims):
+            loop_open.append(
+                "  " * (d + indent)
+                + f"for (long {v} = 0; {v} < {names[d]}; {v}++) {{"
+            )
+            loop_close.append("  " * (d + indent) + "}")
+        flat = dims[0]
+        for d in range(1, self.ndim):
+            flat = f"({flat}) * (long){names[d]} + ({dims[d]})"
+        shifted = ", ".join(f"{v} + {h}" for v, h in zip(dims, hnames))
+        return loop_open, loop_close, flat, shifted
+
+    def _timestep_body(self) -> List[str]:
+        """Statements inside the time loop: sweeps, writeback, halo.
+
+        Assumes ``long t`` (the plane being written) and a zeroable
+        ``real *acc`` scratch buffer are in scope.
+        """
+        out = self.stencil.output
+        loop_open, loop_close, flat, shifted = self._valid_region_loops(3)
+        lines = ["    memset(acc, 0, sizeof(real) * VALID_ELEMS);"]
+        for scale, app in self.stencil.combination_terms():
+            lines.append(
+                f"    sweep_{app.kernel.name}(t - {-app.time_offset}, acc, "
+                f"(real){scale!r});"
+            )
+        lines.append(f"    real *p = PLANE_{out.name}(t);")
+        lines += loop_open
+        lines.append(
+            "  " * (self.ndim + 3)
+            + f"AT_{out.name}(p, {shifted}) = acc[{flat}];"
+        )
+        lines += loop_close[::-1]
+        lines.append("    fill_halo(p);")
+        return lines
 
     def _loop_nest_code(self, kern: Kernel, nest: LoopNest,
                         body: str, parallel_pragma: bool) -> str:
@@ -427,10 +487,6 @@ class CCodeGenerator:
 
     def main_function(self) -> str:
         out = self.stencil.output
-        terms = self.stencil.combination_terms()
-        w = out.time_window
-        names = ["NZ", "NY", "NX"][-self.ndim:]
-        hnames = ["HZ", "HY", "HX"][-self.ndim:]
         dims = ["k", "j", "i"][-self.ndim:]
         lines: List[str] = [
             "int main(int argc, char **argv) {",
@@ -458,18 +514,7 @@ class CCodeGenerator:
             " return 1; }",
             f"    real *p = PLANE_{out.name}(t);",
         ]
-        loop_open = []
-        loop_close = []
-        for d, v in enumerate(dims):
-            loop_open.append(
-                "  " * (d + 2)
-                + f"for (long {v} = 0; {v} < {names[d]}; {v}++) {{"
-            )
-            loop_close.append("  " * (d + 2) + "}")
-        flat = dims[0]
-        for d in range(1, self.ndim):
-            flat = f"({flat}) * (long){names[d]} + ({dims[d]})"
-        shifted = ", ".join(f"{v} + {h}" for v, h in zip(dims, hnames))
+        loop_open, loop_close, flat, shifted = self._valid_region_loops(2)
         lines += loop_open
         lines.append(
             "  " * (self.ndim + 2)
@@ -508,24 +553,9 @@ class CCodeGenerator:
             "  long steps = strtol(argv[2], NULL, 10);",
             "  real *acc = (real *)malloc(sizeof(real) * VALID_ELEMS);",
             f"  for (long t = {hist}; t < {hist} + steps; t++) {{",
-            "    memset(acc, 0, sizeof(real) * VALID_ELEMS);",
         ]
-        for scale, app in terms:
-            lines.append(
-                f"    sweep_{app.kernel.name}(t - {-app.time_offset}, acc, "
-                f"(real){scale!r});"
-            )
+        lines += self._timestep_body()
         lines += [
-            f"    real *p = PLANE_{out.name}(t);",
-        ]
-        lines += ["  " + l for l in loop_open]
-        lines.append(
-            "  " * (self.ndim + 3)
-            + f"AT_{out.name}(p, {shifted}) = acc[{flat}];"
-        )
-        lines += ["  " + l for l in loop_close[::-1]]
-        lines += [
-            "    fill_halo(p);",
             "  }",
             f"  real *newest = PLANE_{out.name}({hist} + steps - 1);",
             "  if (steps == 0) newest = PLANE_" + out.name + f"({hist} - 1);",

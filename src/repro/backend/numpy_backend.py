@@ -333,6 +333,8 @@ class ScheduledExecutor:
 
     def step(self) -> None:
         """Advance the window by one timestep."""
+        from ..obs import span
+
         if self.window is None:
             raise RuntimeError("call initialize() before step()")
         out = self.stencil.output
@@ -340,6 +342,13 @@ class ScheduledExecutor:
         t = window.newest + 1
         terms = self.stencil.combination_terms()
         acc = np.zeros(out.shape, dtype=out.dtype.np_dtype)
+        with span("runtime.kernel_eval", t=t):
+            self._step_terms(terms, window, t, acc, out)
+        newest = window.advance(t)
+        window.interior_view(newest)[...] = acc
+        fill_halo(newest, out.halo, self.boundary)
+
+    def _step_terms(self, terms, window, t, acc, out) -> None:
         for scale, app in terms:
             nest = self._nests[app.kernel.name]
             planes = dict(self.static_planes)
@@ -380,9 +389,6 @@ class ScheduledExecutor:
             else:
                 for tile in nest.iter_tiles():
                     do_tile(tile)
-        newest = window.advance(t)
-        window.interior_view(newest)[...] = acc
-        fill_halo(newest, out.halo, self.boundary)
 
     def run(self, init: Sequence[np.ndarray], timesteps: int) -> np.ndarray:
         """Initialize, run ``timesteps`` sweeps, return the newest plane."""

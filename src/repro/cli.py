@@ -101,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="save result as .npy")
+    p.add_argument("--backend", default="auto",
+                   choices=("auto", "native", "numpy"),
+                   help="single-node execution engine: compiled C "
+                        "shared library (native), numpy, or auto "
+                        "(native when gcc is available)")
     p.add_argument("--serial", action="store_true",
                    help="ignore the program's MPI shape")
     p.add_argument("--scalar", action="append", default=[],
@@ -167,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report-only", action="store_true",
                    help="with --compare: print deltas but always "
                         "exit 0")
+    p.add_argument("--backend", default=None,
+                   choices=("auto", "native", "numpy"),
+                   help="also execute <bench>@<machine> workloads "
+                        "through this engine (adds exec.* metrics and "
+                        "host-phase attribution)")
     p.add_argument("--perturb", action="append", default=[],
                    metavar="PARAM=FACTOR",
                    help="multiply a machine-spec field (e.g. "
@@ -299,14 +309,32 @@ def _cmd_run(args) -> int:
         rng.random(tensor.shape).astype(tensor.dtype.np_dtype)
         for _ in range(need)
     ])
+    distributed = bool(
+        program.mpi_grid and int(np.prod(program.mpi_grid)) > 1
+    )
     mode = (
-        f"distributed over {program.mpi_grid}"
-        if program.mpi_grid and int(np.prod(program.mpi_grid)) > 1
+        f"distributed over {program.mpi_grid}" if distributed
         else "single-node"
     )
     print(f"running {parsed.stencil_name!r}: grid {tensor.shape}, "
           f"{args.steps} steps, {mode}")
-    result = program.run(timesteps=args.steps, check=not args.no_check)
+    backend = getattr(args, "backend", "auto")
+    if distributed:
+        if backend == "native":
+            print("note: distributed runs execute on the simulated "
+                  "MPI runtime (numpy); --backend native ignored")
+        backend = None
+    else:
+        from .backend.native import NativeUnavailable, select_backend
+
+        try:
+            choice, reason = select_backend(backend)
+        except NativeUnavailable as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"backend: {choice} ({reason})")
+    result = program.run(timesteps=args.steps, check=not args.no_check,
+                         backend=backend)
     print(f"result: mean={result.mean():.6e} "
           f"l2={np.linalg.norm(result):.6e}")
     if args.out:
@@ -495,7 +523,8 @@ def _cmd_bench(args) -> int:
         perturb[key] = float(factor)
 
     workloads, default_name = perf.resolve_workloads(
-        args.workloads, perturb=perturb or None
+        args.workloads, perturb=perturb or None,
+        backend=getattr(args, "backend", None),
     )
     name = args.name or default_name
     print(f"benching {len(workloads)} workload(s), "

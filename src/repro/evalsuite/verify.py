@@ -15,15 +15,14 @@ Exposed on the CLI as ``python -m repro verify <benchmark>``.
 
 from __future__ import annotations
 
-import shutil
-import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import native
 from ..backend.numpy_backend import ScheduledExecutor, reference_run
 from ..backend.temporal_exec import TemporalTilingExecutor
 from ..frontend.stencils import benchmark_by_name
@@ -69,36 +68,82 @@ def _tiled_schedule(stencil) -> Dict[str, Schedule]:
     return {kern.name: Schedule(kern).tile(*factors, *names)}
 
 
+def _compile_and_run(files: Mapping[str, str], binary: str,
+                     init_blob: np.ndarray, timesteps: int,
+                     out_dtype, out_shape: Sequence[int],
+                     flags: Sequence[str],
+                     compile_files: Optional[Sequence[str]] = None
+                     ) -> Tuple[Optional[np.ndarray], str]:
+    """Build one generated bundle through the shared artifact cache and
+    execute it under the run timeout.
+
+    The single compile/run path for every verify flavour (plain C, MPI
+    stub, athread stub): ``repro verify`` populates — and benefits
+    from — the same content-addressed cache as ``repro run``, and a
+    wedged compile or runaway binary surfaces as a ``... timed out``
+    note instead of hanging forever.
+    """
+    if not native.native_available():
+        return None, "gcc not available"
+    try:
+        artifact = native.build_artifact(
+            files, binary, kind="exe", flags=flags,
+            compile_files=compile_files,
+        )
+    except native.NativeBuildError as exc:
+        if exc.timed_out:
+            return None, "compile timed out"
+        return None, f"compile failed: {exc.stderr[:200]}"
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        init_blob.tofile(str(tmp / "i.bin"))
+        try:
+            run = native.run_binary(
+                artifact.path, ["i.bin", str(timesteps), "o.bin"],
+                cwd=str(tmp),
+            )
+        except native.NativeRunError as exc:
+            if exc.timed_out:
+                return None, "run timed out"
+            return None, f"run failed: {exc}"
+        if run.returncode != 0:
+            return None, f"run failed: {run.stderr[:200]}"
+        got = np.fromfile(str(tmp / "o.bin"), dtype=out_dtype)
+    return got.reshape(tuple(out_shape)), ""
+
+
 def _compiled_c(stencil, init, timesteps, boundary) -> Tuple[float, str]:
     from ..backend.c_codegen import CCodeGenerator
 
-    gcc = shutil.which("gcc")
-    if gcc is None:
-        return float("nan"), "gcc not available"
     code = CCodeGenerator(stencil, {}, boundary=boundary).generate("vrf")
-    with tempfile.TemporaryDirectory() as tmp:
-        tmp = Path(tmp)
-        code.write_to(str(tmp))
-        build = subprocess.run(
-            [gcc, "-O2", "-o", str(tmp / "vrf"), str(tmp / "vrf.c"),
-             "-lm"],
-            capture_output=True, text=True,
-        )
-        if build.returncode != 0:
-            return float("nan"), f"compile failed: {build.stderr[:200]}"
-        np.concatenate([p.ravel() for p in init]).astype(
-            stencil.output.dtype.np_dtype
-        ).tofile(str(tmp / "i.bin"))
-        run = subprocess.run(
-            [str(tmp / "vrf"), str(tmp / "i.bin"), str(timesteps),
-             str(tmp / "o.bin")],
-            capture_output=True, text=True,
-        )
-        if run.returncode != 0:
-            return float("nan"), f"run failed: {run.stderr[:200]}"
-        got = np.fromfile(
-            str(tmp / "o.bin"), dtype=stencil.output.dtype.np_dtype
-        ).reshape(stencil.output.shape)
+    blob = np.concatenate([p.ravel() for p in init]).astype(
+        stencil.output.dtype.np_dtype
+    )
+    got, note = _compile_and_run(
+        code.files, "vrf", blob, timesteps,
+        stencil.output.dtype.np_dtype, stencil.output.shape,
+        flags=["-O2"],
+    )
+    if note:
+        return float("nan"), note
+    ref = reference_run(stencil, init, timesteps, boundary=boundary)
+    return relative_error(got, ref), ""
+
+
+def _native_inprocess(stencil, init, timesteps,
+                      boundary) -> Tuple[float, str]:
+    """Run the shared-library backend itself (same cache as repro run)."""
+    if not native.native_available():
+        return float("nan"), "gcc not available"
+    try:
+        ex = native.NativeExecutor(stencil, {}, boundary=boundary)
+        got = ex.run(init, timesteps)
+    except native.NativeBuildError as exc:
+        if exc.timed_out:
+            return float("nan"), "compile timed out"
+        return float("nan"), f"compile failed: {exc.stderr[:200]}"
+    except native.NativeRunError as exc:
+        return float("nan"), f"run failed: {exc}"
     ref = reference_run(stencil, init, timesteps, boundary=boundary)
     return relative_error(got, ref), ""
 
@@ -153,6 +198,13 @@ def verify_benchmark(name: str, dtype: DType = f64,
     else:
         results.append(PathResult("compiled C", err, tol))
 
+    err, note = _native_inprocess(stencil, init, timesteps, boundary)
+    if note:
+        results.append(PathResult("native (in-process)", float("nan"),
+                                  tol, ran=False, note=note))
+    else:
+        results.append(PathResult("native (in-process)", err, tol))
+
     err, note = _compiled_mpi_stub(stencil, init, timesteps, boundary)
     if note:
         results.append(PathResult("compiled MPI (stub)", float("nan"),
@@ -179,9 +231,6 @@ def _compiled_athread_stub(name, dtype, init, timesteps,
     from ..backend.targets import generate
     from ..evalsuite.harness import build_with_schedule
 
-    gcc = shutil.which("gcc")
-    if gcc is None:
-        return float("nan"), "gcc not available"
     bench = benchmark_by_name(name)
     # athread codegen needs tiles dividing the domain: use a grid the
     # Table-5 tile divides after clamping
@@ -197,30 +246,13 @@ def _compiled_athread_stub(name, dtype, init, timesteps,
     local_init = [
         rng.random(grid).astype(dtype.np_dtype) for _ in range(2)
     ]
-    with tempfile.TemporaryDirectory() as tmp:
-        tmp = Path(tmp)
-        code.write_to(str(tmp))
-        srcs = [str(tmp / f) for f in code.files if f.endswith(".c")]
-        build = subprocess.run(
-            [gcc, "-O2", "-DMSC_ATHREAD_STUB", *srcs, "-o",
-             str(tmp / "vsw"), "-lm", "-I", str(tmp)],
-            capture_output=True, text=True,
-        )
-        if build.returncode != 0:
-            return float("nan"), f"compile failed: {build.stderr[:200]}"
-        np.concatenate([p.ravel() for p in local_init]).tofile(
-            str(tmp / "i.bin")
-        )
-        run = subprocess.run(
-            [str(tmp / "vsw"), str(tmp / "i.bin"), str(timesteps),
-             str(tmp / "o.bin")],
-            capture_output=True, text=True,
-        )
-        if run.returncode != 0:
-            return float("nan"), f"run failed: {run.stderr[:200]}"
-        got = np.fromfile(
-            str(tmp / "o.bin"), dtype=dtype.np_dtype
-        ).reshape(grid)
+    blob = np.concatenate([p.ravel() for p in local_init])
+    got, note = _compile_and_run(
+        code.files, "vsw", blob, timesteps, dtype.np_dtype, grid,
+        flags=["-O2", "-DMSC_ATHREAD_STUB"],
+    )
+    if note:
+        return float("nan"), note
     ref = reference_run(prog.ir, local_init, timesteps,
                         boundary=boundary)
     return relative_error(got, ref), ""
@@ -233,36 +265,18 @@ def _compiled_mpi_stub(stencil, init, timesteps,
     messages (periodic wraps through the exchange)."""
     from ..backend.mpi_codegen import generate_mpi
 
-    gcc = shutil.which("gcc")
-    if gcc is None:
-        return float("nan"), "gcc not available"
     if stencil.output.dtype is not f64:
         return float("nan"), "MPI comm library is double-precision"
     grid = (1,) * stencil.output.ndim
     code = generate_mpi(stencil, {}, "vmpi", grid, boundary=boundary)
-    with tempfile.TemporaryDirectory() as tmp:
-        tmp = Path(tmp)
-        code.write_to(str(tmp))
-        build = subprocess.run(
-            [gcc, "-O2", "-DMSC_MPI_STUB", str(tmp / "vmpi_mpi.c"),
-             str(tmp / "msc_comm.c"), "-o", str(tmp / "vmpi"), "-lm",
-             "-I", str(tmp)],
-            capture_output=True, text=True,
-        )
-        if build.returncode != 0:
-            return float("nan"), f"compile failed: {build.stderr[:200]}"
-        np.concatenate([p.ravel() for p in init]).astype(
-            np.float64
-        ).tofile(str(tmp / "i.bin"))
-        run = subprocess.run(
-            [str(tmp / "vmpi"), str(tmp / "i.bin"), str(timesteps),
-             str(tmp / "o.bin")],
-            capture_output=True, text=True,
-        )
-        if run.returncode != 0:
-            return float("nan"), f"run failed: {run.stderr[:200]}"
-        got = np.fromfile(str(tmp / "o.bin")).reshape(
-            stencil.output.shape
-        )
+    blob = np.concatenate([p.ravel() for p in init]).astype(np.float64)
+    got, note = _compile_and_run(
+        code.files, "vmpi", blob, timesteps, np.float64,
+        stencil.output.shape,
+        flags=["-O2", "-DMSC_MPI_STUB"],
+        compile_files=["vmpi_mpi.c", "msc_comm.c"],
+    )
+    if note:
+        return float("nan"), note
     ref = reference_run(stencil, init, timesteps, boundary=boundary)
     return relative_error(got, ref), ""

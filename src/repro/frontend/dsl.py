@@ -336,7 +336,8 @@ class StencilProgram:
         return self._initial
 
     def run(self, timesteps: int, scheduled: bool = True,
-            check: bool = True) -> np.ndarray:
+            check: bool = True,
+            backend: Optional[str] = None) -> np.ndarray:
         """Execute ``timesteps`` sweeps, returning the newest plane.
 
         With an MPI grid configured, runs distributed over the simulated
@@ -344,6 +345,14 @@ class StencilProgram:
         global result; otherwise runs single-node.  ``scheduled=False``
         forces the untiled serial reference.  ``check=False`` skips the
         static legality gate.
+
+        ``backend`` selects the single-node execution engine: ``None``
+        (the library default) keeps numpy, ``"native"`` compiles the
+        generated C into a shared library and runs it in-process
+        (raising :class:`~repro.backend.native.NativeUnavailable` /
+        ``NativeBuildError`` when it cannot), ``"auto"`` tries native
+        and transparently falls back to numpy, ``"numpy"`` is explicit.
+        Distributed and unscheduled runs always use numpy.
         """
         init = self._require_initial()
         if self.mpi_grid is not None and int(np.prod(self.mpi_grid)) > 1:
@@ -363,6 +372,31 @@ class StencilProgram:
                 self.ir, init, timesteps, self.boundary,
                 inputs=self._inputs or None,
                 scalars=self._scalars or None,
+            )
+        if backend in ("native", "auto"):
+            if check:
+                self._gate("cpu", "run")
+            from ..backend.native import (
+                NativeBuildError,
+                NativeExecutor,
+                NativeUnavailable,
+            )
+
+            try:
+                ex = NativeExecutor(
+                    self.ir, self.schedules(), self.boundary,
+                    inputs=self._inputs or None,
+                    scalars=self._scalars or None,
+                )
+                return ex.run(init, timesteps)
+            except (NativeUnavailable, NativeBuildError):
+                if backend == "native":
+                    raise
+                # auto: fall through to numpy
+        elif backend not in (None, "numpy"):
+            raise ValueError(
+                f"unknown backend {backend!r}; choose "
+                "auto/native/numpy"
             )
         ex = ScheduledExecutor(
             self.ir, self.schedules(), self.boundary,

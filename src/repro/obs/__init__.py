@@ -32,6 +32,8 @@ comm        halo exchange pack/send/wait/unpack/retry (``comm.*``)
 runtime     distributed execution steps (``runtime.*``)
 faults      injected message/rank faults (``faults.*`` counters)
 autotune    sampling, annealing trials (``autotune.*``)
+native      compiled-C backend build/exec + artifact cache
+            (``native.*`` spans, ``native.cache.*`` counters)
 cli         top-level command spans (``cli.*``)
 ========== ==================================================
 """
@@ -72,7 +74,7 @@ __all__ = [
 #: span-name prefixes emitted by the instrumented pipeline stages
 INSTRUMENTED_SUBSYSTEMS = (
     "frontend", "schedule", "analysis", "codegen", "machine", "comm",
-    "runtime", "autotune", "faults", "cli",
+    "runtime", "autotune", "faults", "native", "cli",
 )
 
 

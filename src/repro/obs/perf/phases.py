@@ -10,9 +10,11 @@ frontend    MSC source parsing (``frontend.*``)
 lower       schedule lowering (``schedule.*``,
             ``machine.lower_schedule``)
 analysis    static legality checks (``analysis.*``)
-codegen     AOT code generation (``codegen.*``)
-compute     arithmetic: the simulators' compute model and the
-            distributed runtime's kernel evaluation
+codegen     AOT code generation (``codegen.*``) and native-backend
+            compilation (``native.compile``)
+compute     arithmetic: the simulators' compute model, the
+            runtime's kernel evaluation and the native backend's
+            in-process execution (``native.exec`` / ``native.run``)
 spm-dma     memory system: SPM allocation, DMA model, cache model
 halo-pack   halo strip packing (``comm.pack``)
 send-wait   message send/wait/retry/relay (``comm.send`` etc.)
@@ -56,6 +58,9 @@ _EXACT = {
     "machine.dma_model": "spm-dma",
     "machine.spm_alloc": "spm-dma",
     "runtime.kernel_eval": "compute",
+    "native.exec": "compute",
+    "native.run": "compute",
+    "native.compile": "codegen",
     "comm.pack": "halo-pack",
     "comm.unpack": "unpack",
 }
@@ -69,6 +74,7 @@ _PREFIXES = (
     ("autotune.", "tune"),
     ("runtime.", "runtime"),
     ("machine.", "other"),  # simulator orchestration shells
+    ("native.", "other"),  # cache lookups and executor shell
 )
 
 

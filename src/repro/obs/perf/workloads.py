@@ -68,7 +68,9 @@ def _perturbed(spec, perturb: Optional[Dict[str, float]]):
 
 def _simulate_workload(bench_name: str, machine_alias: str,
                        perturb: Optional[Dict[str, float]] = None,
-                       timesteps: int = 1) -> Workload:
+                       timesteps: int = 1,
+                       backend: Optional[str] = None,
+                       exec_steps: int = 8) -> Workload:
     def fn(seed: int) -> WorkloadOutput:
         from ...evalsuite.harness import build_with_schedule
         from ...ir.analysis import stencil_flops_per_point
@@ -119,31 +121,59 @@ def _simulate_workload(bench_name: str, machine_alias: str,
                 entry["gflops"] = total_flops / seconds / 1e9
             phases_sim[phase] = entry
 
+        metrics = {
+            "sim.step_s": report.step_s,
+            "sim.total_s": report.total_s,
+            "sim.compute_s": report.compute_s,
+            "sim.memory_s": report.memory_s,
+            "sim.gflops": report.gflops,
+            "codegen.bytes": float(codegen_bytes),
+        }
+        if backend is not None:
+            # real host execution through the requested engine: wall
+            # time is ungated (host noise), but the run's spans land in
+            # the host phase attribution, so ``repro bench --compare``
+            # can show the compute-phase delta between numpy and the
+            # compiled native backend
+            import time
+
+            import numpy as np
+
+            rng = np.random.default_rng(seed)
+            need = prog.ir.required_time_window - 1
+            prog.set_initial([
+                rng.random(grid).astype(
+                    prog.ir.output.dtype.np_dtype
+                )
+                for _ in range(need)
+            ])
+            t0 = time.perf_counter()
+            result = prog.run(exec_steps, check=False, backend=backend)
+            metrics["exec.wall_s"] = time.perf_counter() - t0
+            metrics["exec.l2"] = float(np.linalg.norm(result))
         return WorkloadOutput(
-            metrics={
-                "sim.step_s": report.step_s,
-                "sim.total_s": report.total_s,
-                "sim.compute_s": report.compute_s,
-                "sim.memory_s": report.memory_s,
-                "sim.gflops": report.gflops,
-                "codegen.bytes": float(codegen_bytes),
-            },
+            metrics=metrics,
             phases_sim=phases_sim,
             roofline={bench_name: point.to_dict()},
         )
 
     bench = _bench(bench_name)
+    metric_specs = {
+        "sim.step_s": MetricSpec("s", "lower", gate=True),
+        "sim.total_s": MetricSpec("s", "lower", gate=True),
+        "sim.compute_s": MetricSpec("s", "lower", gate=True),
+        "sim.memory_s": MetricSpec("s", "lower", gate=True),
+        "sim.gflops": MetricSpec("GFlops", "higher", gate=True),
+        "codegen.bytes": MetricSpec("B", "lower", gate=False),
+    }
+    if backend is not None:
+        metric_specs["exec.wall_s"] = MetricSpec("s", "lower",
+                                                 gate=False)
+        metric_specs["exec.l2"] = MetricSpec("", "higher", gate=False)
     return Workload(
         name=f"{bench_name}@{machine_alias}",
         fn=fn,
-        metric_specs={
-            "sim.step_s": MetricSpec("s", "lower", gate=True),
-            "sim.total_s": MetricSpec("s", "lower", gate=True),
-            "sim.compute_s": MetricSpec("s", "lower", gate=True),
-            "sim.memory_s": MetricSpec("s", "lower", gate=True),
-            "sim.gflops": MetricSpec("GFlops", "higher", gate=True),
-            "codegen.bytes": MetricSpec("B", "lower", gate=False),
-        },
+        metric_specs=metric_specs,
         meta={
             "kind": "simulate",
             "benchmark": bench_name,
@@ -151,6 +181,8 @@ def _simulate_workload(bench_name: str, machine_alias: str,
             "grid": list(_GRID_2D if bench.ndim == 2 else _GRID_3D),
             "timesteps": timesteps,
             "perturb": dict(perturb or {}),
+            "backend": backend,
+            "exec_steps": exec_steps if backend is not None else 0,
         },
     )
 
@@ -231,18 +263,28 @@ def _bench(name: str):
 
 
 def workload_by_name(spec: str,
-                     perturb: Optional[Dict[str, float]] = None
-                     ) -> Workload:
+                     perturb: Optional[Dict[str, float]] = None,
+                     backend: Optional[str] = None) -> Workload:
     """Resolve one workload spec string.
 
     - ``<bench>@<machine>`` → simulate workload,
     - ``exchange:<bench>`` → distributed halo-exchange workload.
+
+    ``backend`` (``auto``/``native``/``numpy``) additionally executes
+    simulate workloads on the host through that engine, adding the
+    ungated ``exec.*`` metrics and host-phase compute attribution.
     """
     if spec.startswith("exchange:"):
         if perturb:
             raise ValueError(
                 "--perturb applies to machine specs; exchange workloads "
                 "have none"
+            )
+        if backend:
+            raise ValueError(
+                "--backend applies to <bench>@<machine> workloads; "
+                "exchange workloads always run on the simulated MPI "
+                "runtime"
             )
         return _exchange_workload(spec.split(":", 1)[1])
     if "@" in spec:
@@ -252,7 +294,8 @@ def workload_by_name(spec: str,
                 f"unknown machine {machine!r} in workload {spec!r}; "
                 f"known: {_MACHINES}"
             )
-        return _simulate_workload(bench_name, machine, perturb)
+        return _simulate_workload(bench_name, machine, perturb,
+                                  backend=backend)
     raise ValueError(
         f"cannot parse workload {spec!r}; expected '<bench>@<machine>' "
         "or 'exchange:<bench>'"
@@ -260,7 +303,8 @@ def workload_by_name(spec: str,
 
 
 def resolve_workloads(specs: List[str],
-                      perturb: Optional[Dict[str, float]] = None
+                      perturb: Optional[Dict[str, float]] = None,
+                      backend: Optional[str] = None
                       ) -> Tuple[List[Workload], str]:
     """Resolve CLI workload specs (default pair when empty).
 
@@ -274,4 +318,6 @@ def resolve_workloads(specs: List[str],
         name = "_".join(
             s.replace("@", "_").replace(":", "_") for s in specs
         )[:64]
-    return [workload_by_name(s, perturb) for s in specs], name
+    return [
+        workload_by_name(s, perturb, backend=backend) for s in specs
+    ], name

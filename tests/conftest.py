@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.ir import SpNode, Kernel, Stencil, VarExpr, f64
 from repro.schedule import Schedule
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Keep native-backend builds out of the user's ~/.cache store.
+
+    An explicit REPRO_CACHE_DIR (e.g. CI warming a cache across jobs)
+    is honoured.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("artifact-cache")
+        )
+    yield
 
 
 @pytest.fixture

@@ -30,7 +30,7 @@ def _compile_and_run(code, tmp_path, init, steps, shape, np_dtype,
     cmd = [GCC, "-O2", "-o", str(exe), str(src), "-lm"]
     if use_openmp:
         cmd.insert(1, "-fopenmp")
-    res = subprocess.run(cmd, capture_output=True, text=True)
+    res = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
     assert res.returncode == 0, res.stderr
     init_file = tmp_path / "init.bin"
     out_file = tmp_path / "out.bin"
@@ -40,6 +40,7 @@ def _compile_and_run(code, tmp_path, init, steps, shape, np_dtype,
     res = subprocess.run(
         [str(exe), str(init_file), str(steps), str(out_file)],
         capture_output=True, text=True,
+        timeout=120,
     )
     assert res.returncode == 0, res.stderr
     return np.fromfile(str(out_file), dtype=np_dtype).reshape(shape)
@@ -125,9 +126,18 @@ class TestGeneratedStructure:
         src = CCodeGenerator(stencil_3d7pt_2dep, {}).generate("c").main_source
         assert "(real)0.6" in src and "(real)0.4" in src
 
-    def test_reflect_boundary_rejected(self, stencil_3d7pt_2dep):
+    def test_reflect_boundary_supported(self, stencil_3d7pt_2dep):
+        src = CCodeGenerator(
+            stencil_3d7pt_2dep, {}, boundary="reflect"
+        ).generate("r").main_source
+        # reflect mirrors the near interior rather than zeroing
+        body = src.split("static void fill_halo")[1].split("static")[0]
+        assert ") = 0;" not in body
+        assert "2 * HZ - 1 - h" in body
+
+    def test_unknown_boundary_rejected(self, stencil_3d7pt_2dep):
         with pytest.raises(ValueError, match="zero/periodic"):
-            CCodeGenerator(stencil_3d7pt_2dep, {}, boundary="reflect")
+            CCodeGenerator(stencil_3d7pt_2dep, {}, boundary="wrap")
 
     def test_loc_counts_nonblank(self, stencil_3d7pt_2dep):
         code = CCodeGenerator(stencil_3d7pt_2dep, {}).generate("l")
@@ -166,7 +176,8 @@ class TestTargetsAndMakefiles:
         code = generate(stencil_3d7pt_2dep, {}, "buildme", target="cpu")
         code.write_to(str(tmp_path))
         res = subprocess.run(
-            ["make", "-C", str(tmp_path)], capture_output=True, text=True
+            ["make", "-C", str(tmp_path)], capture_output=True, text=True,
+            timeout=120,
         )
         if res.returncode != 0 and "march=native" in res.stderr:
             pytest.skip("march=native unsupported here")

@@ -457,3 +457,76 @@ class TestCritpathCLI:
         out = capsys.readouterr().out
         assert "TRACE SUMMARY" in out
         assert "PER-RANK SUMMARY" not in out
+
+
+MSC_SINGLE_NODE = """
+const N = 12;
+DefVar(j, i32); DefVar(i, i32);
+DefTensor2D_TimeWin(A, 2, 1, f64, N, N);
+Kernel S((j,i), 0.5*A[j,i] + 0.125*A[j,i-1] + 0.125*A[j,i+1]
+         + 0.125*A[j-1,i] + 0.125*A[j+1,i]);
+Stencil st((j,i), A[t] << S[t-1]);
+"""
+
+
+@pytest.fixture
+def single_node_file(tmp_path):
+    path = tmp_path / "single.msc"
+    path.write_text(MSC_SINGLE_NODE)
+    return str(path)
+
+
+class TestRunBackend:
+    def test_backend_numpy_requested(self, single_node_file, capsys):
+        assert main(["run", single_node_file, "--steps", "2",
+                     "--backend", "numpy"]) == 0
+        assert "backend: numpy (requested)" in capsys.readouterr().out
+
+    def test_backend_auto_reports_choice(self, single_node_file, capsys):
+        assert main(["run", single_node_file, "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: " in out and "auto" in out
+
+    def test_backend_native_matches_numpy(self, single_node_file,
+                                          tmp_path, capsys):
+        import shutil
+
+        if shutil.which("gcc") is None:
+            pytest.skip("gcc not available")
+        a = tmp_path / "native.npy"
+        b = tmp_path / "numpy.npy"
+        assert main(["run", single_node_file, "--steps", "3",
+                     "--backend", "native", "--out", str(a)]) == 0
+        assert "backend: native" in capsys.readouterr().out
+        assert main(["run", single_node_file, "--steps", "3",
+                     "--backend", "numpy", "--out", str(b)]) == 0
+        np.testing.assert_array_equal(np.load(str(a)), np.load(str(b)))
+
+    def test_backend_native_unavailable_errors(self, single_node_file,
+                                               capsys, monkeypatch):
+        from repro.backend import native as native_mod
+
+        monkeypatch.setattr(native_mod, "which_cc", lambda cc=None: None)
+        assert main(["run", single_node_file, "--backend",
+                     "native"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_distributed_ignores_native(self, msc_file, capsys):
+        assert main(["run", msc_file, "--steps", "2",
+                     "--backend", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "--backend native ignored" in out
+        assert "distributed over (2, 1, 2)" in out
+
+    def test_bench_backend_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["bench", "2d9pt_star@cpu", "--backend", "native"]
+        )
+        assert args.backend == "native"
+
+    def test_bench_backend_rejected_for_exchange(self):
+        from repro.obs import perf
+
+        with pytest.raises(ValueError, match="exchange workloads"):
+            perf.resolve_workloads(["exchange:3d7pt_star"],
+                                   backend="numpy")

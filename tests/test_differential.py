@@ -74,6 +74,7 @@ def run_compiled_c(stencil, kern, sched, init, steps, shape, np_dtype):
         res = subprocess.run(
             [GCC, "-fopenmp", "-O2", "-o", str(exe), str(src), "-lm"],
             capture_output=True, text=True,
+            timeout=120,
         )
         assert res.returncode == 0, res.stderr
         init_file = tmp_path / "init.bin"
@@ -84,6 +85,7 @@ def run_compiled_c(stencil, kern, sched, init, steps, shape, np_dtype):
         res = subprocess.run(
             [str(exe), str(init_file), str(steps), str(out_file)],
             capture_output=True, text=True,
+            timeout=120,
         )
         assert res.returncode == 0, res.stderr
         return np.fromfile(str(out_file), dtype=np_dtype).reshape(shape)

@@ -150,6 +150,7 @@ class TestDocsGenerator:
         result = subprocess.run(
             [sys.executable, str(root / "tools" / "gen_api_docs.py")],
             capture_output=True, text=True, cwd=str(root),
+            timeout=300,
         )
         assert result.returncode == 0, result.stderr
         api = (root / "docs" / "API.md").read_text()

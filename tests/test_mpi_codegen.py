@@ -95,6 +95,7 @@ class TestStubExecution:
              str(tmp_path / "msc_comm.c"), "-o", str(exe), "-lm",
              "-I", str(tmp_path)],
             capture_output=True, text=True,
+            timeout=120,
         )
         assert res.returncode == 0, res.stderr
         np.concatenate([p.ravel() for p in init]).tofile(
@@ -104,6 +105,7 @@ class TestStubExecution:
             [str(exe), str(tmp_path / "init.bin"), str(steps),
              str(tmp_path / "out.bin")],
             capture_output=True, text=True,
+            timeout=120,
         )
         assert res.returncode == 0, res.stderr
         return np.fromfile(str(tmp_path / "out.bin")).reshape(shape)

@@ -45,6 +45,7 @@ def _compile_run(code, tmp_path, init_arrays, steps, nout, shape):
         ["gcc", "-O2", "-fopenmp", "-o", str(exe),
          str(tmp_path / f"{code.name}.c"), "-lm"],
         capture_output=True, text=True,
+        timeout=120,
     )
     assert res.returncode == 0, res.stderr
     np.concatenate([a.ravel() for a in init_arrays]).tofile(
@@ -54,6 +55,7 @@ def _compile_run(code, tmp_path, init_arrays, steps, nout, shape):
         [str(exe), str(tmp_path / "init.bin"), str(steps),
          str(tmp_path / "out.bin")],
         check=True, capture_output=True,
+        timeout=120,
     )
     return np.fromfile(str(tmp_path / "out.bin")).reshape(nout, *shape)
 

@@ -126,6 +126,7 @@ class TestCodegen:
             ["gcc", "-O2", "-fopenmp", "-o", str(tmp_path / "sc"),
              str(tmp_path / "sc.c"), "-lm"],
             check=True, capture_output=True,
+            timeout=120,
         )
         a0 = rng.random((12, 16))
         a0.ravel().tofile(str(tmp_path / "i.bin"))
@@ -133,6 +134,7 @@ class TestCodegen:
             [str(tmp_path / "sc"), str(tmp_path / "i.bin"), "4",
              str(tmp_path / "o.bin")],
             check=True, capture_output=True,
+            timeout=120,
         )
         got = np.fromfile(str(tmp_path / "o.bin")).reshape(12, 16)
         prog.set_initial([a0])

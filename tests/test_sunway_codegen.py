@@ -128,6 +128,7 @@ class TestAthreadStubExecution:
             ["gcc", "-O2", "-DMSC_ATHREAD_STUB", *srcs,
              "-o", str(tmp_path / "prog"), "-lm", "-I", str(tmp_path)],
             capture_output=True, text=True,
+            timeout=120,
         )
         assert res.returncode == 0, res.stderr
         np.concatenate([p.ravel() for p in init]).tofile(
@@ -137,6 +138,7 @@ class TestAthreadStubExecution:
             [str(tmp_path / "prog"), str(tmp_path / "i.bin"),
              str(steps), str(tmp_path / "o.bin")],
             capture_output=True, text=True,
+            timeout=120,
         )
         assert res.returncode == 0, res.stderr
         return np.fromfile(str(tmp_path / "o.bin")).reshape(shape)

@@ -107,6 +107,7 @@ class TestCodegen:
             ["gcc", "-O2", "-fopenmp", "-o", str(tmp_path / "vec"),
              str(tmp_path / "vec.c"), "-lm"],
             check=True, capture_output=True,
+            timeout=120,
         )
         init = [rng.random((12, 12, 16)) for _ in range(2)]
         np.concatenate([p.ravel() for p in init]).tofile(
@@ -116,6 +117,7 @@ class TestCodegen:
             [str(tmp_path / "vec"), str(tmp_path / "i.bin"), "4",
              str(tmp_path / "o.bin")],
             check=True, capture_output=True,
+            timeout=120,
         )
         got = np.fromfile(str(tmp_path / "o.bin")).reshape(12, 12, 16)
         ref = reference_run(st, init, 4, boundary="periodic")
