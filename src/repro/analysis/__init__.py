@@ -20,6 +20,7 @@ from .checker import (
     binding_footprints,
     check_config,
     check_decomposition,
+    check_exchange_mode,
     check_kernel_schedule,
     check_program,
     check_stencil_ir,
@@ -43,6 +44,7 @@ __all__ = [
     "binding_footprints",
     "check_config",
     "check_decomposition",
+    "check_exchange_mode",
     "check_kernel_schedule",
     "check_program",
     "check_stencil_ir",

@@ -43,6 +43,7 @@ __all__ = [
     "binding_footprints",
     "check_config",
     "check_decomposition",
+    "check_exchange_mode",
     "check_kernel_schedule",
     "check_program",
     "check_stencil_ir",
@@ -324,6 +325,59 @@ def check_decomposition(stencil, global_shape: Sequence[int],
     return report
 
 
+def check_exchange_mode(stencil, mode: str, grid: Sequence[int],
+                        global_shape: Sequence[int]) -> CheckReport:
+    """Exchange-mode legality (``EXCH001``/``EXCH002``).
+
+    ``basic`` and ``diag`` are legal wherever the decomposition itself
+    is (``HALO002`` covers that); ``overlap`` additionally needs the
+    CORE/OWNED split to be well-formed: the halo must cover the stencil
+    radius on every split dimension, and the narrowest sub-domain must
+    be at least two halo widths wide so a non-empty CORE block exists
+    to hide the communication behind.
+    """
+    from ..comm.exchange import EXCHANGE_MODES
+
+    report = CheckReport()
+    if mode not in EXCHANGE_MODES:
+        report.add(
+            "EXCH002", "error",
+            f"unknown exchange mode {mode!r}; available: "
+            f"{list(EXCHANGE_MODES)}",
+            primitive="exchange_mode",
+        )
+        return report
+    if mode != "overlap":
+        return report
+    halo = stencil.output.halo
+    radius = stencil.radius
+    grid = tuple(int(g) for g in grid)
+    global_shape = tuple(int(s) for s in global_shape)
+    for d, (s, g, h, r) in enumerate(
+            zip(global_shape, grid, halo, radius)):
+        if g <= 1:
+            continue  # unsplit dimension: no ghosts in flight
+        if h < r:
+            report.add(
+                "EXCH001", "error",
+                f"dimension {d}: overlap mode needs halo >= stencil "
+                f"radius on split regions, got halo {h} < radius {r}",
+                primitive="exchange_mode",
+            )
+        elif h > 0 and s // g <= 2 * h:
+            # the CORE block (interior minus one halo width per side)
+            # is empty unless the narrowest sub-domain exceeds 2*h
+            report.add(
+                "EXCH001", "error",
+                f"dimension {d}: sub-domain extent {s // g} "
+                f"(= {s} // {g}) leaves no CORE block to overlap "
+                f"(needs > {2 * h}); use basic/diag or a smaller "
+                "MPI grid",
+                primitive="exchange_mode",
+            )
+    return report
+
+
 # ---------------------------------------------------------------------------
 # whole-program entry point
 # ---------------------------------------------------------------------------
@@ -379,17 +433,26 @@ def check_program(stencil, schedules: Optional[Dict[str, object]] = None,
 
 
 def check_config(stencil, tile: Sequence[int], mpi_grid: Sequence[int],
-                 global_shape: Sequence[int], machine) -> CheckReport:
+                 global_shape: Sequence[int], machine,
+                 exchange_mode: Optional[str] = None) -> CheckReport:
     """Fast legality check of one autotuner point (no Schedule objects).
 
     Mirrors the tuner's staging model — one halo-padded read block plus
     one interior write block per sweep — so every configuration pruned
     here is exactly one the measured objective would reject, plus the
-    decomposition checks the objective cannot see.
+    decomposition checks the objective cannot see.  When
+    ``exchange_mode`` is given the exchange-mode legality rules
+    (``EXCH001``/``EXCH002``) are applied as well.
     """
     report = check_decomposition(stencil, global_shape, mpi_grid)
     if not report.ok:
         return report
+    if exchange_mode is not None:
+        report.extend(check_exchange_mode(
+            stencil, exchange_mode, mpi_grid, global_shape
+        ))
+        if not report.ok:
+            return report
     if machine is not None and machine.cacheless:
         sub = tuple(
             -(-int(s) // int(g)) for s, g in zip(global_shape, mpi_grid)

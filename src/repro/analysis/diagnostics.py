@@ -51,6 +51,9 @@ DIAGNOSTIC_CODES = {
     "HALO001": "stencil radius exceeds the tensor's halo width",
     "HALO002": "per-rank sub-domain narrower than the halo",
     "MPI001": "invalid MPI process grid for the domain",
+    "EXCH001": "exchange mode incompatible with the decomposition "
+               "geometry",
+    "EXCH002": "unknown halo-exchange mode",
     "IR001": "stencil IR validation issue",
 }
 

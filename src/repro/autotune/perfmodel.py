@@ -23,10 +23,11 @@ __all__ = ["TuningConfig", "PerformanceModel"]
 
 @dataclass(frozen=True)
 class TuningConfig:
-    """One point of the tuning space: tile sizes + MPI grid shape."""
+    """One point of the tuning space: tiles + MPI grid + exchange mode."""
 
     tile: Tuple[int, ...]
     mpi_grid: Tuple[int, ...]
+    exchange_mode: str = "basic"
 
     def __post_init__(self) -> None:
         if len(self.tile) != len(self.mpi_grid):
@@ -35,6 +36,13 @@ class TuningConfig:
             raise ValueError(f"tile sizes must be >= 1: {self.tile}")
         if any(g < 1 for g in self.mpi_grid):
             raise ValueError(f"grid extents must be >= 1: {self.mpi_grid}")
+        from ..comm.exchange import EXCHANGE_MODES
+
+        if self.exchange_mode not in EXCHANGE_MODES:
+            raise ValueError(
+                f"unknown exchange mode {self.exchange_mode!r}; "
+                f"available: {list(EXCHANGE_MODES)}"
+            )
 
     @property
     def nprocs(self) -> int:
@@ -55,6 +63,8 @@ class PerformanceModel:
         "halo_bytes_per_proc",  # pack/transfer/unpack volume
         "messages",  # per-step message count → network latency term
         "grid_imbalance",  # worst/mean sub-domain ratio
+        "diag_mode",  # 1.0 when the coalesced diag protocol is active
+        "overlap_mode",  # 1.0 when compute/comm overlap is active
     )
 
     def __init__(self, global_shape: Sequence[int], radius: Sequence[int],
@@ -91,7 +101,14 @@ class PerformanceModel:
             for dd in range(ndim):
                 face *= self.radius[d] if dd == d else sub[dd]
             halo_bytes += 2 * face * self.elem
-        messages = 2 * sum(1 for r in self.radius if r > 0)
+        active = sum(1 for r in self.radius if r > 0)
+        if config.exchange_mode == "basic":
+            # staged dim-by-dim: two face messages per active dimension
+            messages = 2 * active
+        else:
+            # diag/overlap coalesce every direct neighbour (faces,
+            # edges and corners) into one message each
+            messages = 3 ** active - 1
         mean_points = 1
         for s, g in zip(self.global_shape, config.mpi_grid):
             mean_points *= s / g
@@ -104,6 +121,8 @@ class PerformanceModel:
             float(halo_bytes),
             float(messages),
             imbalance,
+            1.0 if config.exchange_mode == "diag" else 0.0,
+            1.0 if config.exchange_mode == "overlap" else 0.0,
         ])
 
     # -- fitting / prediction -------------------------------------------------------

@@ -106,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="single-node execution engine: compiled C "
                         "shared library (native), numpy, or auto "
                         "(native when gcc is available)")
+    p.add_argument("--exchange-mode", default=None,
+                   choices=["basic", "diag", "overlap"],
+                   help="halo-exchange wire protocol for distributed "
+                        "runs (default: the exchanger's own)")
     p.add_argument("--serial", action="store_true",
                    help="ignore the program's MPI shape")
     p.add_argument("--scalar", action="append", default=[],
@@ -129,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject faults into the distributed-exchange "
                         "stage, e.g. 'drop:p=0.2,crash:rank=1:step=5' "
                         "(see docs/RESILIENCE.md)")
+    p.add_argument("--exchange-mode", default=None,
+                   choices=["basic", "diag", "overlap"],
+                   help="halo-exchange wire protocol for the "
+                        "distributed-exchange stage")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for deterministic fault injection "
                         "(default: 0)")
@@ -147,7 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="statistical performance benchmark")
     p.add_argument("workloads", nargs="*", metavar="WORKLOAD",
-                   help="'<bench>@<machine>' or 'exchange:<bench>' "
+                   help="'<bench>@<machine>', 'exchange:<bench>' or "
+                        "'exchange:<bench>@<mode>' "
                         "(default: the perf-smoke pair; see --list)")
     p.add_argument("--list", action="store_true", dest="list_workloads",
                    help="list the built-in workloads and exit")
@@ -333,8 +342,11 @@ def _cmd_run(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         print(f"backend: {choice} ({reason})")
+    exchange_mode = getattr(args, "exchange_mode", None)
+    if exchange_mode and not distributed:
+        print("note: --exchange-mode only affects distributed runs")
     result = program.run(timesteps=args.steps, check=not args.no_check,
-                         backend=backend)
+                         backend=backend, exchange_mode=exchange_mode)
     print(f"result: mean={result.mean():.6e} "
           f"l2={np.linalg.norm(result):.6e}")
     if args.out:
@@ -399,6 +411,7 @@ def _cmd_simulate(args) -> int:
         return _simulate_exchange_stage(
             args.benchmark, dtype, spec=args.inject_faults,
             seed=args.fault_seed,
+            exchange_mode=getattr(args, "exchange_mode", None),
         )
     if args.inject_faults:
         print("warning: --inject-faults has no effect with "
@@ -421,7 +434,8 @@ def _simulate_codegen_stage(benchmark: str, prog, target: str,
 
 def _simulate_exchange_stage(benchmark: str, dtype,
                              spec: Optional[str] = None,
-                             seed: int = 0) -> int:
+                             seed: int = 0,
+                             exchange_mode: Optional[str] = None) -> int:
     """Scaled-down distributed run: exercises the communication library
     and the distributed runtime (and records them under ``--trace``).
 
@@ -450,7 +464,7 @@ def _simulate_exchange_stage(benchmark: str, dtype,
         ]
         result = distributed_run(
             demo.ir, init, steps, grid, boundary="periodic",
-            faults=injector,
+            faults=injector, exchange_mode=exchange_mode,
         )
     except SimMPIError as exc:
         if injector is None:
@@ -464,8 +478,9 @@ def _simulate_exchange_stage(benchmark: str, dtype,
     except Exception as exc:  # noqa: BLE001 - report, don't abort timing
         print(f"distributed exchange: skipped ({exc})")
         return 0
-    print(f"distributed exchange: {steps} steps on {shape} over MPI "
-          f"grid {grid}, l2={np.linalg.norm(result):.6e}")
+    mode_note = f" [{exchange_mode}]" if exchange_mode else ""
+    print(f"distributed exchange{mode_note}: {steps} steps on {shape} "
+          f"over MPI grid {grid}, l2={np.linalg.norm(result):.6e}")
     if injector is not None:
         print(f"  injected faults (seed {seed}): {injector.summary()}")
     reg = registry()
@@ -492,7 +507,8 @@ def _cmd_tune(args) -> int:
     result = tuner.tune(iterations=args.iterations, seed=args.seed)
     print(f"tuned {args.benchmark} over {shape} on {args.nprocs} CGs:")
     print(f"  best tiles {result.best.tile}, "
-          f"MPI grid {result.best.mpi_grid}")
+          f"MPI grid {result.best.mpi_grid}, "
+          f"exchange mode {result.best.exchange_mode}")
     print(f"  step time {result.best_time * 1e3:.3f} ms, "
           f"improvement {result.improvement:.2f}x, "
           f"R^2 {result.model_r2:.3f}")

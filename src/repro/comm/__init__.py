@@ -8,12 +8,23 @@ code generator.
 """
 
 from .decomposition import SubDomain, decompose, owner_of, suggest_grid
-from .halo import HaloSpec, Region, halo_regions, partition_regions
-from .packing import BufferPool, pack, unpack
+from .halo import (
+    DiagRegion,
+    HaloSpec,
+    Region,
+    core_owned_regions,
+    diag_regions,
+    halo_regions,
+    partition_regions,
+)
+from .packing import BufferPool, pack, pack_many, unpack, unpack_many
 from .exchange import (
+    EXCHANGE_MODES,
     AsyncHaloExchanger,
+    DiagHaloExchanger,
     HaloExchanger,
     MasterCoordinatedExchanger,
+    OverlapHaloExchanger,
 )
 from .library import (
     available_exchangers,
@@ -24,9 +35,12 @@ from .library import (
 
 __all__ = [
     "SubDomain", "decompose", "owner_of", "suggest_grid",
-    "HaloSpec", "Region", "halo_regions", "partition_regions",
-    "BufferPool", "pack", "unpack",
-    "AsyncHaloExchanger", "HaloExchanger", "MasterCoordinatedExchanger",
+    "HaloSpec", "Region", "DiagRegion", "halo_regions", "diag_regions",
+    "partition_regions", "core_owned_regions",
+    "BufferPool", "pack", "unpack", "pack_many", "unpack_many",
+    "EXCHANGE_MODES", "AsyncHaloExchanger", "DiagHaloExchanger",
+    "OverlapHaloExchanger", "HaloExchanger",
+    "MasterCoordinatedExchanger",
     "available_exchangers", "create_exchanger", "get_exchanger",
     "register_exchanger",
 ]

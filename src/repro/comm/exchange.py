@@ -1,19 +1,44 @@
-"""Asynchronous halo exchange (Fig. 6b/6c).
+"""Asynchronous halo exchange (Fig. 6b/6c) with an exchange-mode axis.
 
-For every spatial dimension in order, each process packs its inner-halo
-strip, posts ``Irecv``/``Isend`` with both neighbours, waits, and
-unpacks into the outer halo.  All processes exchange concurrently
-(Fig. 6b: "all MPI processes are exchanging the halo region
-asynchronously"); the dimension phases give box stencils their corner
-data with only two messages per dimension.
+The async exchanger speaks three wire protocols, selected by the
+``mode`` knob (Devito's ``HaloExchangeBuilder`` taxonomy):
 
-At non-periodic global boundaries a process has no neighbour on a side;
-those ghost strips are filled by the boundary condition instead
+- ``basic`` — the staged dimension-by-dimension protocol: for every
+  spatial dimension in order, each process posts ``Irecv``/``Isend``
+  with both face neighbours, waits, and installs the ghost strips.
+  The dimension phases give box stencils their corner data with only
+  ``2·ndim`` messages per process, at the cost of ``ndim`` dependent
+  phases.
+- ``diag`` — direct-neighbour exchange: edge/corner blocks go straight
+  to their diagonal owners instead of relaying through dimension
+  phases.  All blocks destined for the same rank are coalesced into
+  one message, so the whole exchange is a *single* phase — on the
+  small process grids of the bench workloads that is strictly fewer
+  messages than ``basic`` (e.g. 3 vs 4 per rank on a periodic 2×2
+  grid), and face blocks shrink to the valid extent.
+- ``overlap`` — the ``diag`` wire protocol split into
+  :meth:`~AsyncHaloExchanger.begin_exchange` /
+  :meth:`~AsyncHaloExchanger.finish_exchange` so the executor can
+  compute the CORE of the next step while messages are in flight and
+  only the OWNED shell waits for completion (see
+  :func:`repro.comm.halo.core_owned_regions`).
+
+Packing is zero-copy on the clean fast path: single-strip messages
+hand strided views of the padded plane straight to the transport
+(which copies once at post time) and receive straight into the ghost
+views, so :class:`~repro.comm.packing.BufferPool` staging only happens
+for coalesced multi-strip messages (transient buffers) and on the
+resilient path, which must hold every in-flight message stable until
+it is acknowledged.
+
+At non-periodic global boundaries a process has no neighbour on a
+side; those ghost strips are filled by the boundary condition instead
 (zero/reflect), handled by the caller's plane fill.
 
 Two exchanger strategies are provided:
 
-- :class:`AsyncHaloExchanger` — MSC's library (this paper);
+- :class:`AsyncHaloExchanger` — MSC's library (this paper), plus the
+  ``diag``/``overlap`` convenience subclasses for the registry;
 - :class:`MasterCoordinatedExchanger` — the Physis-style comparison
   strategy where every message is relayed through a master rank, the
   bottleneck discussed in Sec. 5.5 (used by the baseline model *and*
@@ -23,17 +48,28 @@ Two exchanger strategies are provided:
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..obs import counter, span
 from ..obs.trace import attach_flow
 from ..runtime.simmpi import CartComm, Request, SimMPIError
-from .halo import HaloSpec, Region, halo_regions
-from .packing import BufferPool, pack, unpack
+from .halo import HaloSpec, Region, Slices, diag_regions, halo_regions
+from .packing import BufferPool, pack_many, unpack_many
 
-__all__ = ["HaloExchanger", "AsyncHaloExchanger", "MasterCoordinatedExchanger"]
+__all__ = [
+    "EXCHANGE_MODES",
+    "HaloExchanger",
+    "AsyncHaloExchanger",
+    "DiagHaloExchanger",
+    "OverlapHaloExchanger",
+    "MasterCoordinatedExchanger",
+]
+
+#: the exchange-mode axis (autotuner search space, CLI knob)
+EXCHANGE_MODES = ("basic", "diag", "overlap")
 
 _TAG_BASE = 4096
 
@@ -43,8 +79,33 @@ _TAG_BASE = 4096
 # never match.  512 in-flight sequence slots is far beyond any window
 # the per-operation timeouts allow.
 _SEQ_WINDOW = 512
-_TAG_STRIDE = 8  # 2 * ndim(<=3) direction/dimension sub-tags, rounded up
+_TAG_STRIDE = 8  # sub-tags 0..5: (dim, direction) faces; 6: coalesced
 _ACK_BASE = _TAG_BASE + _TAG_STRIDE * _SEQ_WINDOW
+
+#: sub-tag for diag/overlap per-neighbour coalesced messages (at most
+#: one such message per ordered rank pair per exchange)
+_DIAG_SUB = 6
+
+
+@dataclass
+class _Transfer:
+    """One peer-to-peer message of an exchange: strips + tag plumbing.
+
+    ``send_strips``/``recv_strips`` are laid out back to back in the
+    message, in an order both sides derive canonically (basic: one
+    strip; diag: offsets sorted lexicographically on the sender, by
+    negated offset on the receiver, so strip *k* of the incoming
+    message is exactly the block the sender packed *k*-th).
+    """
+
+    peer: int
+    send_strips: Tuple[Slices, ...]
+    recv_strips: Tuple[Slices, ...]
+    send_sub: int
+    recv_sub: int
+    dim: int  # span/counter label; -1 for coalesced messages
+    dir: int  # ±1 for face strips, 0 for coalesced messages
+    key: str  # stable id for pool tags / error messages
 
 
 class HaloExchanger:
@@ -89,28 +150,55 @@ class HaloExchanger:
     def exchange(self, plane: np.ndarray) -> None:
         raise NotImplementedError
 
+    # -- split exchange (compute/communication overlap) -------------------
+    def begin_exchange(self, plane: np.ndarray) -> None:
+        """Start an exchange; default strategies complete it eagerly."""
+        self.exchange(plane)
+
+    def finish_exchange(self) -> None:
+        """Complete a begun exchange (no-op when none is pending)."""
+
+    @property
+    def pending(self) -> bool:
+        """True while a begun exchange has not been finished."""
+        return False
+
 
 class AsyncHaloExchanger(HaloExchanger):
-    """MSC's exchanger: concurrent Isend/Irecv per dimension phase.
+    """MSC's exchanger: concurrent Isend/Irecv, three wire modes.
+
+    ``mode`` selects the protocol: ``"basic"`` (staged per-dimension
+    phases), ``"diag"`` (one phase of per-neighbour coalesced direct
+    messages) or ``"overlap"`` (the diag protocol split into
+    ``begin_exchange``/``finish_exchange`` for compute overlap; a plain
+    :meth:`exchange` call runs both halves back to back).
 
     When the world has a fault injector attached (or ``resilient=True``
-    is forced) each phase runs a retransmission protocol: strips carry
-    sequence-numbered tags, the receiver acknowledges every strip over
+    is forced) every mode runs a retransmission protocol: messages
+    carry sequence-numbered tags, the receiver acknowledges each over
     the reliable control channel, and a sender whose ACK misses its
-    per-operation deadline re-sends the identical strip (idempotent by
-    tag) with exponential backoff, up to ``max_retries`` times.  Clean
-    worlds take the plain fast path — identical traffic, no ACKs.
+    per-operation deadline re-sends the identical message (idempotent
+    by tag) with exponential backoff, up to ``max_retries`` times.
+    Clean worlds take the zero-copy fast path — identical traffic, no
+    ACKs, no staging buffers.
     """
 
     def __init__(self, comm: CartComm, spec: HaloSpec,
+                 mode: str = "basic",
                  retry_timeout: float = 0.25, max_retries: int = 6,
                  backoff: float = 2.0, op_timeout: float = 60.0,
                  resilient: Optional[bool] = None):
         super().__init__(comm, spec)
+        if mode not in EXCHANGE_MODES:
+            raise ValueError(
+                f"unknown exchange mode {mode!r}; expected one of "
+                f"{EXCHANGE_MODES}"
+            )
         if retry_timeout <= 0:
             raise ValueError("retry_timeout must be positive")
         if max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        self.mode = mode
         self.retry_timeout = retry_timeout
         self.max_retries = max_retries
         self.backoff = backoff
@@ -119,17 +207,28 @@ class AsyncHaloExchanger(HaloExchanger):
         #: retransmissions performed by this process (for diagnostics)
         self.retries = 0
         self._seq = 0
+        self._pending = None
+        self._diag_transfer_cache: Optional[List[_Transfer]] = None
 
-    # sequence-stamped data/ACK tags; the (dim, bit) sub-tag keeps the
-    # pre-existing pairing: a strip sent in direction ``dir`` matches
-    # the peer's receive on its opposite face
-    def _data_tag(self, seq: int, dim: int, bit: int) -> int:
-        return (_TAG_BASE + (seq % _SEQ_WINDOW) * _TAG_STRIDE
-                + 2 * dim + bit)
+    def reset_counters(self) -> None:
+        """Zero traffic *and* retransmission counters (between runs)."""
+        super().reset_counters()
+        self.retries = 0
 
-    def _ack_tag(self, seq: int, dim: int, bit: int) -> int:
-        return (_ACK_BASE + (seq % _SEQ_WINDOW) * _TAG_STRIDE
-                + 2 * dim + bit)
+    @property
+    def pending(self) -> bool:
+        return self._pending is not None
+
+    # sequence-stamped data/ACK tags; the ``sub`` slot keeps the
+    # pre-existing pairing: a face strip sent in direction ``dir``
+    # matches the peer's receive on its opposite face, a coalesced
+    # message always travels under the single diag sub-tag (at most one
+    # per ordered rank pair per exchange)
+    def _data_tag(self, seq: int, sub: int) -> int:
+        return _TAG_BASE + (seq % _SEQ_WINDOW) * _TAG_STRIDE + sub
+
+    def _ack_tag(self, seq: int, sub: int) -> int:
+        return _ACK_BASE + (seq % _SEQ_WINDOW) * _TAG_STRIDE + sub
 
     @staticmethod
     def _send_bit(region: Region) -> int:
@@ -139,152 +238,327 @@ class AsyncHaloExchanger(HaloExchanger):
     def _recv_bit(region: Region) -> int:
         return 0 if region.direction > 0 else 1
 
-    def exchange(self, plane: np.ndarray) -> None:
+    def _check_plane(self, plane: np.ndarray) -> None:
         if plane.shape != self.spec.padded_shape:
             raise ValueError(
                 f"plane shape {plane.shape} != padded shape "
                 f"{self.spec.padded_shape}"
             )
-        seq = self._seq
-        self._seq += 1
-        resilient = (
+
+    def _resilient_now(self) -> bool:
+        return (
             self.comm.faults_active if self.resilient is None
             else self.resilient
         )
+
+    def _strips_count(self, strips: Sequence[Slices]) -> int:
+        padded = self.spec.padded_shape
+        total = 0
+        for strip in strips:
+            n = 1
+            for d, sl in enumerate(strip):
+                start, stop, _ = sl.indices(padded[d])
+                n *= stop - start
+            total += n
+        return total
+
+    # -- transfer construction --------------------------------------------
+    def _phase_transfers(self, d: int) -> List[_Transfer]:
+        """The two face transfers of one basic-mode dimension phase."""
+        out: List[_Transfer] = []
+        for region in (r for r in self.regions if r.dim == d):
+            peer = self._neighbour(region)
+            if peer < 0:
+                continue
+            out.append(_Transfer(
+                peer=peer,
+                send_strips=(region.send,),
+                recv_strips=(region.recv,),
+                send_sub=2 * d + self._send_bit(region),
+                recv_sub=2 * d + self._recv_bit(region),
+                dim=d,
+                dir=region.direction,
+                key=f"{d}{'m' if region.direction < 0 else 'p'}",
+            ))
+        return out
+
+    def _offset_neighbour(self, offset: Sequence[int]) -> int:
+        coords = list(self.comm.Get_coords(self.comm.rank))
+        for d, o in enumerate(offset):
+            c = coords[d] + o
+            if self.comm.periods[d]:
+                c %= self.comm.dims[d]
+            elif not 0 <= c < self.comm.dims[d]:
+                return -1
+            coords[d] = c
+        return self.comm.Get_cart_rank(coords)
+
+    def _diag_transfers(self) -> List[_Transfer]:
+        """Per-neighbour coalesced transfers (diag/overlap modes).
+
+        Blocks are grouped by owning rank; the sender lays out its
+        blocks by lexicographic offset, the receiver expects them by
+        negated-offset order (its ghost block at ``o`` is the peer's
+        inner block at ``-o``), so both sides agree on the message
+        layout even when one peer is a neighbour at several offsets
+        (degenerate periodic grids).
+        """
+        if self._diag_transfer_cache is not None:
+            return self._diag_transfer_cache
+        sends: Dict[int, list] = {}
+        recvs: Dict[int, list] = {}
+        for reg in diag_regions(self.spec):
+            peer = self._offset_neighbour(reg.offset)
+            if peer < 0:
+                continue
+            sends.setdefault(peer, []).append(reg)
+            recvs.setdefault(peer, []).append(reg)
+        transfers: List[_Transfer] = []
+        for peer in sorted(sends):
+            out_blocks = sorted(sends[peer], key=lambda r: r.offset)
+            in_blocks = sorted(
+                recvs[peer],
+                key=lambda r: tuple(-c for c in r.offset),
+            )
+            transfers.append(_Transfer(
+                peer=peer,
+                send_strips=tuple(r.send for r in out_blocks),
+                recv_strips=tuple(r.recv for r in in_blocks),
+                send_sub=_DIAG_SUB,
+                recv_sub=_DIAG_SUB,
+                dim=-1,
+                dir=0,
+                key=f"n{peer}",
+            ))
+        self._diag_transfer_cache = transfers
+        return transfers
+
+    # -- public protocol --------------------------------------------------
+    def exchange(self, plane: np.ndarray) -> None:
+        if self.mode == "overlap":
+            # blocking call on a split-capable exchanger: run both
+            # halves back to back (seed planes, static inputs)
+            self.begin_exchange(plane)
+            self.finish_exchange()
+            return
+        self._check_plane(plane)
+        seq = self._seq
+        self._seq += 1
+        resilient = self._resilient_now()
         ndim = len(self.spec.sub_shape)
         with span("comm.exchange", rank=self.comm.rank, strategy="async",
-                  seq=seq, resilient=resilient):
-            for d in range(ndim):
-                phase = [r for r in self.regions if r.dim == d]
-                if not phase:
-                    continue
-                if resilient:
-                    self._exchange_phase_resilient(plane, phase, d, seq)
-                else:
-                    self._exchange_phase_fast(plane, phase, d, seq)
+                  mode=self.mode, seq=seq, resilient=resilient):
+            if self.mode == "basic":
+                for d in range(ndim):
+                    transfers = self._phase_transfers(d)
+                    if not transfers:
+                        continue
+                    if resilient:
+                        self._run_transfers_resilient(
+                            plane, transfers, seq, f"dim {d}"
+                        )
+                    else:
+                        self._run_transfers_fast(plane, transfers, seq)
+            else:  # diag: one phase of coalesced direct messages
+                transfers = self._diag_transfers()
+                if transfers:
+                    if resilient:
+                        self._run_transfers_resilient(
+                            plane, transfers, seq, "diag"
+                        )
+                    else:
+                        self._run_transfers_fast(plane, transfers, seq)
+        # staging-pool growth audit: stays at 0 on the zero-copy clean
+        # path in every mode; only the resilient protocol stages
+        counter("comm.pool_bytes", self.pool.nbytes, rank=self.comm.rank)
 
-    # -- clean fast path -------------------------------------------------
-    def _exchange_phase_fast(self, plane: np.ndarray,
-                             phase: Sequence[Region], d: int,
-                             seq: int) -> None:
-        rank = self.comm.rank
-        recvs: List[Optional[Request]] = []
-        recv_bufs = []
-        for region in phase:
-            peer = self._neighbour(region)
-            if peer < 0:
-                recvs.append(None)
-                recv_bufs.append(None)
-                continue
-            n = region.count(self.spec.padded_shape)
-            buf = self.pool.get(n, plane.dtype,
-                                tag=f"recv-{d}-{region.direction}")
-            recv_bufs.append(buf)
-            recvs.append(
-                self.comm.Irecv(
-                    buf, source=peer,
-                    tag=self._data_tag(seq, d, self._recv_bit(region)),
-                )
+    def begin_exchange(self, plane: np.ndarray) -> None:
+        """Post all sends/receives of one exchange without waiting.
+
+        Only ``mode="overlap"`` actually splits; the other modes
+        complete eagerly.  At most one exchange may be in flight.
+        """
+        if self.mode != "overlap":
+            self.exchange(plane)
+            return
+        if self._pending is not None:
+            raise SimMPIError(
+                f"rank {self.comm.rank}: begin_exchange while a "
+                "previous overlap exchange is still in flight"
             )
-        for region in phase:
-            peer = self._neighbour(region)
-            if peer < 0:
-                continue
-            n = region.count(self.spec.padded_shape)
-            sbuf = self.pool.get(n, plane.dtype,
-                                 tag=f"send-{d}-{region.direction}")
-            with span("comm.pack", rank=rank, dim=d, dir=region.direction):
-                pack(plane, region.send, sbuf)
-            # the message a peer receives on its (dim, dir) face
-            # was sent from our opposite-direction strip
-            send_tag = self._data_tag(seq, d, self._send_bit(region))
-            with span("comm.send", rank=rank, dim=d, dir=region.direction,
-                      bytes=sbuf.nbytes):
-                self.comm.Isend(sbuf, dest=peer, tag=send_tag).Wait()
-            self._count_message(sbuf.nbytes, d)
-        for region, req, buf in zip(phase, recvs, recv_bufs):
-            if req is None:
-                continue
-            with span("comm.wait", rank=rank, dim=d, dir=region.direction):
-                req.Wait(self.op_timeout)
-            with span("comm.unpack", rank=rank, dim=d,
-                      dir=region.direction):
-                unpack(buf, plane, region.recv)
+        self._check_plane(plane)
+        seq = self._seq
+        self._seq += 1
+        resilient = self._resilient_now()
+        transfers = self._diag_transfers()
+        with span("comm.exchange", rank=self.comm.rank, strategy="async",
+                  mode="overlap", stage="begin", seq=seq,
+                  resilient=resilient):
+            if resilient:
+                state = self._post_transfers_resilient(
+                    plane, transfers, seq
+                )
+            else:
+                state = self._post_transfers_fast(plane, transfers, seq)
+        self._pending = (plane, seq, resilient, state)
 
-    # -- fault-tolerant path ---------------------------------------------
-    def _exchange_phase_resilient(self, plane: np.ndarray,
-                                  phase: Sequence[Region], d: int,
-                                  seq: int) -> None:
+    def finish_exchange(self) -> None:
+        """Wait out a begun exchange and install the ghost blocks."""
+        if self._pending is None:
+            return
+        plane, seq, resilient, state = self._pending
+        self._pending = None
+        with span("comm.exchange", rank=self.comm.rank, strategy="async",
+                  mode="overlap", stage="finish", seq=seq,
+                  resilient=resilient):
+            if resilient:
+                recv_pending, ack_pending = state
+                # retry clocks start now: peers deep in CORE compute
+                # have not drained their receives yet, and that is not
+                # a lost message
+                now = time.monotonic()
+                for entry in ack_pending.values():
+                    entry["deadline"] = now + self.retry_timeout
+                self._progress_resilient(
+                    plane, recv_pending, ack_pending, seq,
+                    now + self.op_timeout, "overlap",
+                )
+            else:
+                self._complete_transfers_fast(plane, state)
+        counter("comm.pool_bytes", self.pool.nbytes, rank=self.comm.rank)
+
+    # -- clean fast path (zero-copy) --------------------------------------
+    def _post_transfers_fast(self, plane: np.ndarray,
+                             transfers: Sequence[_Transfer],
+                             seq: int) -> list:
+        rank = self.comm.rank
+        recvs = []
+        for tr in transfers:
+            tag = self._data_tag(seq, tr.recv_sub)
+            if len(tr.recv_strips) == 1:
+                # zero-copy: the transport scatters straight into the
+                # strided ghost view at completion time
+                buf = None
+                req = self.comm.Irecv(plane[tr.recv_strips[0]],
+                                      source=tr.peer, tag=tag)
+            else:
+                buf = np.empty(self._strips_count(tr.recv_strips),
+                               dtype=plane.dtype)
+                req = self.comm.Irecv(buf, source=tr.peer, tag=tag)
+            recvs.append((tr, req, buf))
+        for tr in transfers:
+            zero_copy = len(tr.send_strips) == 1
+            with span("comm.pack", rank=rank, dim=tr.dim, dir=tr.dir,
+                      zero_copy=zero_copy):
+                if zero_copy:
+                    # strided view — the transport makes the one copy
+                    msg = plane[tr.send_strips[0]]
+                else:
+                    msg = pack_many(plane, tr.send_strips)
+            with span("comm.send", rank=rank, dim=tr.dim, dir=tr.dir,
+                      bytes=msg.nbytes):
+                self.comm.Isend(
+                    msg, dest=tr.peer,
+                    tag=self._data_tag(seq, tr.send_sub),
+                ).Wait()
+            self._count_message(msg.nbytes, tr.dim)
+        return recvs
+
+    def _complete_transfers_fast(self, plane: np.ndarray,
+                                 recvs: Sequence[tuple]) -> None:
+        rank = self.comm.rank
+        for tr, req, buf in recvs:
+            with span("comm.wait", rank=rank, dim=tr.dim, dir=tr.dir):
+                req.Wait(self.op_timeout)
+            with span("comm.unpack", rank=rank, dim=tr.dim, dir=tr.dir,
+                      zero_copy=buf is None):
+                if buf is not None:
+                    unpack_many(buf, plane, tr.recv_strips)
+
+    def _run_transfers_fast(self, plane: np.ndarray,
+                            transfers: Sequence[_Transfer],
+                            seq: int) -> None:
+        recvs = self._post_transfers_fast(plane, transfers, seq)
+        self._complete_transfers_fast(plane, recvs)
+
+    # -- fault-tolerant path (pool-staged) --------------------------------
+    def _post_transfers_resilient(self, plane: np.ndarray,
+                                  transfers: Sequence[_Transfer],
+                                  seq: int) -> tuple:
         comm = self.comm
         rank = comm.rank
-        now = time.monotonic()
-        overall_deadline = now + self.op_timeout
         recv_pending = {}
-        for region in phase:
-            peer = self._neighbour(region)
-            if peer < 0:
-                continue
-            n = region.count(self.spec.padded_shape)
-            buf = self.pool.get(n, plane.dtype,
-                                tag=f"recv-{d}-{region.direction}")
+        for i, tr in enumerate(transfers):
+            n = self._strips_count(tr.recv_strips)
+            buf = self.pool.get(n, plane.dtype, tag=f"recv-{tr.key}")
             # data receives complete inside req.Test() below, under the
             # outer comm.exchange span; defer the flow so it can be
             # re-homed onto the unpack span that consumes the strip
             req = comm.Irecv(
-                buf, source=peer,
-                tag=self._data_tag(seq, d, self._recv_bit(region)),
+                buf, source=tr.peer,
+                tag=self._data_tag(seq, tr.recv_sub),
                 defer_flow=True,
             )
-            recv_pending[region.direction] = (region, req, buf, peer)
+            recv_pending[i] = (tr, req, buf)
         ack_pending = {}
-        ack_out = self.pool.get(1, np.uint8, tag="ack-out")
-        for region in phase:
-            peer = self._neighbour(region)
-            if peer < 0:
-                continue
-            n = region.count(self.spec.padded_shape)
-            sbuf = self.pool.get(n, plane.dtype,
-                                 tag=f"send-{d}-{region.direction}")
-            with span("comm.pack", rank=rank, dim=d, dir=region.direction):
-                pack(plane, region.send, sbuf)
-            bit = self._send_bit(region)
-            send_tag = self._data_tag(seq, d, bit)
-            with span("comm.send", rank=rank, dim=d, dir=region.direction,
+        for i, tr in enumerate(transfers):
+            n = self._strips_count(tr.send_strips)
+            sbuf = self.pool.get(n, plane.dtype, tag=f"send-{tr.key}")
+            with span("comm.pack", rank=rank, dim=tr.dim, dir=tr.dir):
+                pack_many(plane, tr.send_strips, sbuf)
+            send_tag = self._data_tag(seq, tr.send_sub)
+            with span("comm.send", rank=rank, dim=tr.dim, dir=tr.dir,
                       bytes=sbuf.nbytes):
-                comm.Isend(sbuf, dest=peer, tag=send_tag)
-            self._count_message(sbuf.nbytes, d)
-            ack_buf = self.pool.get(
-                1, np.uint8, tag=f"ack-in-{d}-{region.direction}"
-            )
-            ack_pending[region.direction] = {
-                "region": region,
-                "peer": peer,
+                comm.Isend(sbuf, dest=tr.peer, tag=send_tag)
+            self._count_message(sbuf.nbytes, tr.dim)
+            ack_buf = self.pool.get(1, np.uint8, tag=f"ack-in-{tr.key}")
+            ack_pending[i] = {
+                "tr": tr,
                 "sbuf": sbuf,
                 "send_tag": send_tag,
-                "req": comm.Irecv(ack_buf, source=peer,
-                                  tag=self._ack_tag(seq, d, bit)),
+                "req": comm.Irecv(ack_buf, source=tr.peer,
+                                  tag=self._ack_tag(seq, tr.send_sub)),
                 "deadline": time.monotonic() + self.retry_timeout,
                 "attempts": 0,
             }
+        return recv_pending, ack_pending
+
+    def _run_transfers_resilient(self, plane: np.ndarray,
+                                 transfers: Sequence[_Transfer],
+                                 seq: int, where: str) -> None:
+        recv_pending, ack_pending = self._post_transfers_resilient(
+            plane, transfers, seq
+        )
+        self._progress_resilient(
+            plane, recv_pending, ack_pending, seq,
+            time.monotonic() + self.op_timeout, where,
+        )
+
+    def _progress_resilient(self, plane: np.ndarray, recv_pending: dict,
+                            ack_pending: dict, seq: int,
+                            overall_deadline: float, where: str) -> None:
+        comm = self.comm
+        rank = comm.rank
+        ack_out = self.pool.get(1, np.uint8, tag="ack-out")
         while recv_pending or ack_pending:
             gen = comm.activity()
             progressed = False
             for key in list(recv_pending):
-                region, req, buf, peer = recv_pending[key]
+                tr, req, buf = recv_pending[key]
                 if not req.Test():  # terminal errors re-raise here
                     continue
                 # acknowledge over the reliable control channel, then
-                # install the ghost strip
+                # install the ghost strips
                 comm.Send(
-                    ack_out, dest=peer, reliable=True,
-                    tag=self._ack_tag(seq, d, self._recv_bit(region)),
+                    ack_out, dest=tr.peer, reliable=True,
+                    tag=self._ack_tag(seq, tr.recv_sub),
                 )
-                with span("comm.unpack", rank=rank, dim=d,
-                          dir=region.direction):
+                with span("comm.unpack", rank=rank, dim=tr.dim,
+                          dir=tr.dir):
                     flow = comm.pop_parked_flow()
                     if flow is not None:
                         attach_flow("recv", flow)
-                    unpack(buf, plane, region.recv)
+                    unpack_many(buf, plane, tr.recv_strips)
                 del recv_pending[key]
                 progressed = True
             for key in list(ack_pending):
@@ -299,22 +573,20 @@ class AsyncHaloExchanger(HaloExchanger):
             for entry in ack_pending.values():
                 if now < entry["deadline"]:
                     continue
-                region = entry["region"]
+                tr = entry["tr"]
                 if entry["attempts"] >= self.max_retries:
                     raise SimMPIError(
-                        f"rank {comm.rank}: halo strip (dim {d}, dir "
-                        f"{region.direction:+d}) to rank "
-                        f"{entry['peer']} unacknowledged after "
-                        f"{entry['attempts']} retries"
+                        f"rank {comm.rank}: halo transfer {tr.key} "
+                        f"({where}) to rank {tr.peer} unacknowledged "
+                        f"after {entry['attempts']} retries"
                     )
                 entry["attempts"] += 1
                 self.retries += 1
-                counter("comm.retry", rank=comm.rank, dim=d)
-                with span("comm.retry", rank=rank, dim=d,
-                          dir=region.direction,
-                          attempt=entry["attempts"],
+                counter("comm.retry", rank=comm.rank, dim=tr.dim)
+                with span("comm.retry", rank=rank, dim=tr.dim,
+                          dir=tr.dir, attempt=entry["attempts"],
                           bytes=entry["sbuf"].nbytes):
-                    comm.Isend(entry["sbuf"], dest=entry["peer"],
+                    comm.Isend(entry["sbuf"], dest=tr.peer,
                                tag=entry["send_tag"])
                 entry["deadline"] = now + self.retry_timeout * (
                     self.backoff ** entry["attempts"]
@@ -323,11 +595,15 @@ class AsyncHaloExchanger(HaloExchanger):
             if progressed:
                 continue
             if now >= overall_deadline:
-                waiting = sorted(recv_pending) + sorted(ack_pending)
+                waiting = sorted(
+                    recv_pending[k][0].key for k in recv_pending
+                ) + sorted(
+                    ack_pending[k]["tr"].key for k in ack_pending
+                )
                 raise SimMPIError(
-                    f"rank {comm.rank}: halo exchange (dim {d}) did not "
+                    f"rank {comm.rank}: halo exchange ({where}) did not "
                     f"complete within {self.op_timeout}s "
-                    f"(outstanding directions {waiting})"
+                    f"(outstanding transfers {waiting})"
                 )
             next_deadline = min(
                 [e["deadline"] for e in ack_pending.values()]
@@ -336,6 +612,22 @@ class AsyncHaloExchanger(HaloExchanger):
             comm.wait_for_activity(
                 max(0.0, next_deadline - now), seen=gen
             )
+
+
+class DiagHaloExchanger(AsyncHaloExchanger):
+    """``async`` preset to ``mode="diag"`` (registry convenience)."""
+
+    def __init__(self, comm: CartComm, spec: HaloSpec, **options):
+        options.setdefault("mode", "diag")
+        super().__init__(comm, spec, **options)
+
+
+class OverlapHaloExchanger(AsyncHaloExchanger):
+    """``async`` preset to ``mode="overlap"`` (registry convenience)."""
+
+    def __init__(self, comm: CartComm, spec: HaloSpec, **options):
+        options.setdefault("mode", "overlap")
+        super().__init__(comm, spec, **options)
 
 
 class MasterCoordinatedExchanger(HaloExchanger):
@@ -377,7 +669,7 @@ class MasterCoordinatedExchanger(HaloExchanger):
                     sbuf[1] = float(self._tag_for_peer(region))
                     with span("comm.pack", rank=comm.rank, dim=d,
                               dir=region.direction):
-                        pack(plane, region.send, sbuf[2:])
+                        pack_many(plane, (region.send,), sbuf[2:])
                     sends.append((sbuf, region))
                 counts = comm.gather(len(sends), root=self.MASTER)
                 # strip sizes differ across ranks (balanced decomposition);
@@ -418,7 +710,9 @@ class MasterCoordinatedExchanger(HaloExchanger):
                                   tag=self._tag(region))
                     with span("comm.unpack", rank=comm.rank, dim=d,
                               dir=region.direction):
-                        unpack(rbuf, plane, region.recv)
+                        unpack_many(rbuf, plane, (region.recv,))
+                    # ``Recv`` fills the buffer prefix; the unpack above
+                    # consumes exactly the strip elements
 
     def _tag_for_peer(self, region: Region) -> int:
         # the tag under which the *peer* expects this strip

@@ -17,10 +17,19 @@ messages per process).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["HaloSpec", "Region", "halo_regions", "partition_regions"]
+__all__ = [
+    "HaloSpec",
+    "Region",
+    "DiagRegion",
+    "halo_regions",
+    "diag_regions",
+    "partition_regions",
+    "core_owned_regions",
+]
 
 Slices = Tuple[slice, ...]
 
@@ -110,6 +119,108 @@ def halo_regions(spec: HaloSpec) -> List[Region]:
                 Region(d, direction, tuple(send), tuple(recv))
             )
     return regions
+
+
+@dataclass(frozen=True)
+class DiagRegion:
+    """One *direct* exchange block, addressed by a neighbour offset.
+
+    ``offset`` is a vector in ``{-1, 0, +1}^ndim`` naming the
+    neighbouring sub-domain the block is exchanged with (face blocks
+    have one nonzero component, edge/corner blocks several).  Unlike
+    the staged :class:`Region` strips, the slices span only the *valid*
+    extent of the zero-offset dimensions, so every ghost cell is
+    covered by exactly one block and no relaying through dimension
+    phases is needed.
+    """
+
+    offset: Tuple[int, ...]
+    send: Slices
+    recv: Slices
+
+    def count(self, padded_shape: Sequence[int]) -> int:
+        """Number of elements in the block."""
+        n = 1
+        for d, sl in enumerate(self.send):
+            start, stop, _ = sl.indices(padded_shape[d])
+            n *= stop - start
+        return n
+
+
+def diag_regions(spec: HaloSpec) -> List[DiagRegion]:
+    """Direct-neighbour exchange blocks in canonical offset order.
+
+    One block per offset in ``{-1, 0, +1}^ndim`` (origin excluded;
+    dimensions with zero halo are pinned to 0), ordered
+    lexicographically.  The block at offset ``o`` sent by a rank lands
+    in the receiver's ghost block at offset ``-o``; because both sides
+    enumerate offsets in the same canonical order, coalesced
+    per-neighbour messages have a deterministic strip layout even when
+    one peer is a neighbour at several offsets (small periodic grids).
+    """
+    ndim = len(spec.sub_shape)
+    choices = [
+        (-1, 0, +1) if spec.halo[d] > 0 else (0,) for d in range(ndim)
+    ]
+    regions: List[DiagRegion] = []
+    for offset in itertools.product(*choices):
+        if all(o == 0 for o in offset):
+            continue
+        send: List[slice] = []
+        recv: List[slice] = []
+        for d, o in enumerate(offset):
+            s, h = spec.sub_shape[d], spec.halo[d]
+            if o == 0:
+                send.append(slice(h, h + s))
+                recv.append(slice(h, h + s))
+            elif o == -1:
+                send.append(slice(h, 2 * h))
+                recv.append(slice(0, h))
+            else:
+                send.append(slice(s, s + h))
+                recv.append(slice(h + s, h + s + h))
+        regions.append(DiagRegion(offset, tuple(send), tuple(recv)))
+    return regions
+
+
+def core_owned_regions(
+    sub_shape: Sequence[int], width: Sequence[int]
+) -> Tuple[Optional[List[Tuple[int, int]]], List[List[Tuple[int, int]]]]:
+    """Split the iteration space for compute/communication overlap.
+
+    Returns ``(core, owned)`` in *interior* coordinates (the executor's
+    ``(lo, hi)`` region format).  ``core`` is the block of cells at
+    least ``width[d]`` away from every sub-domain edge — its stencil
+    footprint stays inside the interior, so it can be computed while
+    ghost exchanges are in flight.  ``owned`` is a list of disjoint
+    shell slabs covering the rest; they read ghost cells and must wait
+    for the exchange to finish.  ``core`` is ``None`` when the
+    sub-domain is too thin to have one (then the shell covers
+    everything).
+    """
+    ndim = len(sub_shape)
+    if len(width) != ndim:
+        raise ValueError("width rank mismatch")
+    lo = [min(max(int(w), 0), s) for w, s in zip(width, sub_shape)]
+    hi = [max(s - w, l) for w, s, l in zip(width, sub_shape, lo)]
+    have_core = all(l < h for l, h in zip(lo, hi))
+    core = [(l, h) for l, h in zip(lo, hi)] if have_core else None
+    owned: List[List[Tuple[int, int]]] = []
+    for d in range(ndim):
+        if lo[d] == 0 and hi[d] == sub_shape[d]:
+            continue  # no shell in this dimension
+        # dims before d are restricted to their core interval (already
+        # covered by earlier slabs outside it), dim d takes the edge
+        # bands, dims after d span the full extent
+        prefix = [(lo[k], hi[k]) for k in range(d)]
+        if any(a >= b for a, b in prefix):
+            continue
+        suffix = [(0, sub_shape[k]) for k in range(d + 1, ndim)]
+        if lo[d] > 0:
+            owned.append(prefix + [(0, lo[d])] + suffix)
+        if hi[d] < sub_shape[d]:
+            owned.append(prefix + [(hi[d], sub_shape[d])] + suffix)
+    return core, owned
 
 
 def partition_regions(spec: HaloSpec) -> Tuple[Slices, List[Slices], List[Slices]]:

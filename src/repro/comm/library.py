@@ -8,9 +8,15 @@ generator / distributed executor look them up.
 
 Built-in strategies:
 
-- ``"async"``  — MSC's asynchronous exchanger (the default),
-- ``"master"`` — the Physis-style master-coordinated exchanger (for the
-  Sec. 5.5 comparison).
+- ``"async"``   — MSC's asynchronous exchanger (the default; takes a
+  ``mode`` option selecting the ``basic``/``diag``/``overlap`` wire
+  protocol),
+- ``"diag"``    — the async exchanger preset to coalesced
+  direct-neighbour messages,
+- ``"overlap"`` — the async exchanger preset to the split
+  begin/finish protocol for compute/communication overlap,
+- ``"master"``  — the Physis-style master-coordinated exchanger (for
+  the Sec. 5.5 comparison).
 """
 
 from __future__ import annotations
@@ -21,8 +27,10 @@ from ..runtime.simmpi import CartComm
 from .halo import HaloSpec
 from .exchange import (
     AsyncHaloExchanger,
+    DiagHaloExchanger,
     HaloExchanger,
     MasterCoordinatedExchanger,
+    OverlapHaloExchanger,
 )
 
 __all__ = [
@@ -76,4 +84,6 @@ def available_exchangers() -> list:
 
 
 register_exchanger("async", AsyncHaloExchanger)
+register_exchanger("diag", DiagHaloExchanger)
+register_exchanger("overlap", OverlapHaloExchanger)
 register_exchanger("master", MasterCoordinatedExchanger)

@@ -1,11 +1,15 @@
 """Message packing (Fig. 6c: "packs the data of the inner halo region
 in the send buffer ... unpacks the data to update the outer halo").
 
-Halo strips are strided views of the padded plane; MPI wants contiguous
-buffers.  ``pack`` copies a strip into a reusable send buffer,
-``unpack`` scatters a received buffer back into the ghost strip.
-Buffers are cached per (shape, dtype) so steady-state exchange does no
-allocation — mirroring the send/recv buffer reuse of the C library.
+Halo strips are strided views of the padded plane.  On the clean fast
+path the simmpi transport accepts those strided views directly (it
+copies at ``Isend`` post time and scatters a strided receive in
+place), so single-strip exchanges are *zero-copy* on our side and the
+:class:`BufferPool` stays empty.  Explicit staging remains for two
+cases: coalesced multi-strip messages (``pack_many``/``unpack_many``,
+diag-mode corner coalescing) and the resilient retransmission path,
+which must keep a stable copy of every in-flight message until it is
+acknowledged — that path stages through the pool.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["BufferPool", "pack", "unpack"]
+__all__ = ["BufferPool", "pack", "unpack", "pack_many", "unpack_many"]
 
 
 def pack(plane: np.ndarray, strip: Sequence[slice],
@@ -41,6 +45,44 @@ def unpack(buf: np.ndarray, plane: np.ndarray,
             f"unpack buffer has {buf.size} elements, strip needs {view.size}"
         )
     view[...] = buf.reshape(view.shape)
+
+
+def pack_many(plane: np.ndarray, strips: Sequence[Sequence[slice]],
+              out: np.ndarray = None) -> np.ndarray:
+    """Concatenate several strips of ``plane`` into one flat buffer.
+
+    The strips are laid out back to back in the order given; the
+    receiver must unpack with the same strip order (``unpack_many``).
+    """
+    views = [plane[tuple(s)] for s in strips]
+    total = sum(v.size for v in views)
+    if out is None:
+        out = np.empty(total, dtype=plane.dtype)
+    flat = out.reshape(-1)
+    if flat.size < total:
+        raise ValueError(
+            f"pack buffer holds {flat.size} elements, strips have {total}"
+        )
+    pos = 0
+    for view in views:
+        flat[pos:pos + view.size] = view.reshape(-1)
+        pos += view.size
+    return out
+
+
+def unpack_many(buf: np.ndarray, plane: np.ndarray,
+                strips: Sequence[Sequence[slice]]) -> None:
+    """Scatter a coalesced buffer back into several strips in order."""
+    flat = buf.reshape(-1)
+    pos = 0
+    for strip in strips:
+        view = plane[tuple(strip)]
+        if pos + view.size > flat.size:
+            raise ValueError(
+                f"unpack buffer has {flat.size} elements, strips need more"
+            )
+        view[...] = flat[pos:pos + view.size].reshape(view.shape)
+        pos += view.size
 
 
 class BufferPool:

@@ -337,7 +337,8 @@ class StencilProgram:
 
     def run(self, timesteps: int, scheduled: bool = True,
             check: bool = True,
-            backend: Optional[str] = None) -> np.ndarray:
+            backend: Optional[str] = None,
+            exchange_mode: Optional[str] = None) -> np.ndarray:
         """Execute ``timesteps`` sweeps, returning the newest plane.
 
         With an MPI grid configured, runs distributed over the simulated
@@ -353,6 +354,10 @@ class StencilProgram:
         ``NativeBuildError`` when it cannot), ``"auto"`` tries native
         and transparently falls back to numpy, ``"numpy"`` is explicit.
         Distributed and unscheduled runs always use numpy.
+
+        ``exchange_mode`` (``basic``/``diag``/``overlap``) selects the
+        halo-exchange wire protocol of distributed runs; ignored for
+        single-node execution.
         """
         init = self._require_initial()
         if self.mpi_grid is not None and int(np.prod(self.mpi_grid)) > 1:
@@ -364,6 +369,7 @@ class StencilProgram:
                 self.ir, init, timesteps, self.mpi_grid,
                 boundary=self.boundary, inputs=self._inputs or None,
                 scalars=self._scalars or None,
+                exchange_mode=exchange_mode,
             )
         from ..backend.numpy_backend import ScheduledExecutor, reference_run
 

@@ -44,8 +44,12 @@ def available_workloads() -> List[str]:
     """Every resolvable built-in workload name."""
     from ...frontend.stencils import BENCHMARK_NAMES
 
+    from ...comm.exchange import EXCHANGE_MODES
+
     names = [f"{b}@{m}" for b in BENCHMARK_NAMES for m in _MACHINES]
     names += [f"exchange:{b}" for b in BENCHMARK_NAMES]
+    names += [f"exchange:{b}@{m}" for b in BENCHMARK_NAMES
+              for m in EXCHANGE_MODES]
     return names
 
 
@@ -187,11 +191,27 @@ def _simulate_workload(bench_name: str, machine_alias: str,
     )
 
 
-def _exchange_workload(bench_name: str, steps: int = 2) -> Workload:
+#: counters snapshotted around each per-mode run of an exchange workload
+_EXCHANGE_COUNTERS = ("comm.bytes_sent", "comm.messages",
+                      "comm.pool_bytes")
+
+
+def _exchange_workload(bench_name: str, steps: int = 2,
+                       mode: Optional[str] = None) -> Workload:
+    """Distributed halo-exchange workload.
+
+    ``mode=None`` is the *comparative* form: it runs all three exchange
+    modes back to back with per-mode counter deltas, gates the diag
+    coalescing win (``diag.msg_saving``), the zero-copy pool audit
+    (``comm.pool_bytes``) and cross-mode bitwise equality.  A concrete
+    ``mode`` (``exchange:<bench>@<mode>``) runs just that wire protocol.
+    """
+
     def fn(seed: int) -> WorkloadOutput:
         import numpy as np
 
         from ... import obs
+        from ...comm.exchange import EXCHANGE_MODES
         from ...frontend.stencils import benchmark_by_name
         from ...ir.dtypes import f64
         from ...runtime.executor import distributed_run
@@ -205,10 +225,24 @@ def _exchange_workload(bench_name: str, steps: int = 2) -> Workload:
         need = demo.ir.required_time_window - 1
         rng = np.random.default_rng(seed)
         init = [rng.random(shape) for _ in range(need)]
-        result = distributed_run(
-            demo.ir, init, steps, grid, boundary="periodic"
-        )
         reg = obs.registry()
+
+        def snap() -> Dict[str, float]:
+            return {k: reg.counter_total(k) for k in _EXCHANGE_COUNTERS}
+
+        modes = [mode] if mode is not None else list(EXCHANGE_MODES)
+        deltas: Dict[str, Dict[str, float]] = {}
+        results: Dict[str, Any] = {}
+        for m in modes:
+            before = snap()
+            results[m] = distributed_run(
+                demo.ir, init, steps, grid, boundary="periodic",
+                exchange_mode=m,
+            )
+            after = snap()
+            deltas[m] = {k: after[k] - before[k] for k in after}
+        first = modes[0]
+
         # structural distributed-trace metrics: the longest logical
         # span chain and its rank crossings are program-deterministic
         # under fixed seeds (zero MAD), so the gate can regress on an
@@ -222,36 +256,68 @@ def _exchange_workload(bench_name: str, steps: int = 2) -> Workload:
         dt = DistributedTrace.from_live(obs.tracer(), reg)
         cp = extract_critical_path(dt)
         imb = imbalance_report(dt)
-        return WorkloadOutput(metrics={
-            "comm.bytes_sent": reg.counter_total("comm.bytes_sent"),
-            "comm.messages": reg.counter_total("comm.messages"),
+        metrics = {
+            "comm.bytes_sent": deltas[first]["comm.bytes_sent"],
+            "comm.messages": deltas[first]["comm.messages"],
+            "comm.pool_bytes": sum(
+                d["comm.pool_bytes"] for d in deltas.values()
+            ),
             "critpath.spans": float(cp.chain_spans),
             "critpath.crossings": float(cp.chain_crossings),
             "critpath.flow_edges": float(cp.flow_edges),
             "imbalance.bytes_skew": imb.bytes_skew,
-            "result.l2": float(np.linalg.norm(result)),
-        })
+            "result.l2": float(np.linalg.norm(results[first])),
+        }
+        if mode is None:
+            # the diag coalescing win and the cross-mode differential
+            # result, gated so a protocol regression fails the bench
+            metrics["comm.messages.diag"] = (
+                deltas["diag"]["comm.messages"]
+            )
+            metrics["diag.msg_saving"] = (
+                deltas["basic"]["comm.messages"]
+                - deltas["diag"]["comm.messages"]
+            )
+            metrics["exchange.modes_bitwise_equal"] = float(all(
+                np.array_equal(results[m], results["basic"])
+                for m in modes
+            ))
+        return WorkloadOutput(metrics=metrics)
 
     bench = _bench(bench_name)
+    metric_specs = {
+        "comm.bytes_sent": MetricSpec("B", "lower", gate=True),
+        "comm.messages": MetricSpec("msgs", "lower", gate=True),
+        "comm.pool_bytes": MetricSpec("B", "lower", gate=True),
+        "critpath.spans": MetricSpec("spans", "lower", gate=True),
+        "critpath.crossings": MetricSpec("edges", "lower",
+                                         gate=True),
+        "critpath.flow_edges": MetricSpec("edges", "lower",
+                                          gate=True),
+        "imbalance.bytes_skew": MetricSpec("x", "lower", gate=True),
+        "result.l2": MetricSpec("", "higher", gate=False),
+    }
+    if mode is None:
+        metric_specs["comm.messages.diag"] = MetricSpec(
+            "msgs", "lower", gate=True
+        )
+        metric_specs["diag.msg_saving"] = MetricSpec(
+            "msgs", "higher", gate=True
+        )
+        metric_specs["exchange.modes_bitwise_equal"] = MetricSpec(
+            "", "higher", gate=True
+        )
+    suffix = f"@{mode}" if mode is not None else ""
     return Workload(
-        name=f"exchange:{bench_name}",
+        name=f"exchange:{bench_name}{suffix}",
         fn=fn,
-        metric_specs={
-            "comm.bytes_sent": MetricSpec("B", "lower", gate=True),
-            "comm.messages": MetricSpec("msgs", "lower", gate=True),
-            "critpath.spans": MetricSpec("spans", "lower", gate=True),
-            "critpath.crossings": MetricSpec("edges", "lower",
-                                             gate=True),
-            "critpath.flow_edges": MetricSpec("edges", "lower",
-                                              gate=True),
-            "imbalance.bytes_skew": MetricSpec("x", "lower", gate=True),
-            "result.l2": MetricSpec("", "higher", gate=False),
-        },
+        metric_specs=metric_specs,
         meta={
             "kind": "exchange",
             "benchmark": bench_name,
             "steps": steps,
             "mpi_grid": list((2, 2) if bench.ndim == 2 else (2, 1, 2)),
+            "exchange_mode": mode or "compare",
         },
     )
 
@@ -268,7 +334,9 @@ def workload_by_name(spec: str,
     """Resolve one workload spec string.
 
     - ``<bench>@<machine>`` → simulate workload,
-    - ``exchange:<bench>`` → distributed halo-exchange workload.
+    - ``exchange:<bench>`` → comparative distributed halo-exchange
+      workload (all three exchange modes),
+    - ``exchange:<bench>@<mode>`` → one exchange mode only.
 
     ``backend`` (``auto``/``native``/``numpy``) additionally executes
     simulate workloads on the host through that engine, adding the
@@ -286,7 +354,18 @@ def workload_by_name(spec: str,
                 "exchange workloads always run on the simulated MPI "
                 "runtime"
             )
-        return _exchange_workload(spec.split(":", 1)[1])
+        rest = spec.split(":", 1)[1]
+        mode: Optional[str] = None
+        if "@" in rest:
+            rest, mode = rest.rsplit("@", 1)
+            from ...comm.exchange import EXCHANGE_MODES
+
+            if mode not in EXCHANGE_MODES:
+                raise ValueError(
+                    f"unknown exchange mode {mode!r} in workload "
+                    f"{spec!r}; known: {list(EXCHANGE_MODES)}"
+                )
+        return _exchange_workload(rest, mode=mode)
     if "@" in spec:
         bench_name, machine = spec.rsplit("@", 1)
         if machine not in _MACHINES:

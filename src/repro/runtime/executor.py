@@ -16,7 +16,7 @@ import numpy as np
 
 from ..backend.numpy_backend import evaluate_kernel
 from ..comm.decomposition import SubDomain, decompose
-from ..comm.halo import HaloSpec
+from ..comm.halo import HaloSpec, core_owned_regions
 from ..ir.stencil import Stencil
 from ..ir.validate import validate_stencil
 from ..obs import counter, span
@@ -55,7 +55,8 @@ class DistributedStencil:
                  subdomains: Sequence[SubDomain],
                  boundary: str = "zero",
                  exchanger: str = "async",
-                 scalars=None):
+                 scalars=None,
+                 exchange_mode: Optional[str] = None):
         if boundary not in ("zero", "periodic"):
             raise ValueError(
                 "distributed runs support zero/periodic boundaries, got "
@@ -70,7 +71,19 @@ class DistributedStencil:
         self.spec = HaloSpec(self.sub.shape, out.halo)
         from ..comm.library import create_exchanger  # breaks an import cycle
 
-        self.exchanger = create_exchanger(exchanger, comm, self.spec)
+        options = {}
+        if exchange_mode is not None:
+            # only the async exchanger family understands modes; other
+            # strategies reject the option in their constructor
+            options["mode"] = exchange_mode
+        self.exchanger = create_exchanger(
+            exchanger, comm, self.spec, **options
+        )
+        #: overlap mode: the step loop computes the CORE block while
+        #: the newest plane's exchange is still in flight
+        self._overlap = (
+            getattr(self.exchanger, "mode", "basic") == "overlap"
+        )
         w = out.time_window
         self._planes = np.zeros(
             (w, *self.spec.padded_shape), dtype=out.dtype.np_dtype
@@ -93,8 +106,11 @@ class DistributedStencil:
         return padded[self.spec.interior()]
 
     def _refresh_ghosts(self, plane: np.ndarray) -> None:
+        # an overlap-mode exchanger allows one in-flight exchange;
+        # drain it before starting the next (no-op otherwise)
+        self.exchanger.finish_exchange()
         _zero_unowned_edges(plane, self.spec, self.comm)
-        self.exchanger.exchange(plane)
+        self.exchanger.begin_exchange(plane)
 
     def seed(self, t: int, global_plane: np.ndarray) -> None:
         """Install one initial history plane from the global array."""
@@ -126,28 +142,53 @@ class DistributedStencil:
         self._halos[name] = tuple(halo)
 
     # -- stepping ---------------------------------------------------------------
+    def _accumulate(self, acc: np.ndarray, t: int,
+                    region: Sequence[Tuple[int, int]]) -> None:
+        """Evaluate all combination terms over ``region`` into ``acc``."""
+        out = self.stencil.output
+        sl = tuple(slice(lo, hi) for lo, hi in region)
+        for scale, app in self.stencil.combination_terms():
+            planes = dict(self._static)
+            planes[(out.name, 0)] = self.plane(t + app.time_offset)
+            for extra in range(1, out.time_window):
+                held = t + app.time_offset - extra
+                if held >= 0:
+                    try:
+                        planes[(out.name, -extra)] = self.plane(held)
+                    except KeyError:
+                        pass
+            with span("runtime.kernel_eval", kernel=app.kernel.name):
+                val = evaluate_kernel(
+                    app.kernel, planes, self._halos, list(region),
+                    scalars=self._scalars,
+                )
+            acc[sl] += np.asarray(scale * val, dtype=out.dtype.np_dtype)
+
     def step(self) -> None:
         out = self.stencil.output
         t = self.newest + 1
         with span("runtime.step", rank=self.comm.rank, t=t):
-            region = [(0, s) for s in self.sub.shape]
             acc = np.zeros(self.sub.shape, dtype=out.dtype.np_dtype)
-            for scale, app in self.stencil.combination_terms():
-                planes = dict(self._static)
-                planes[(out.name, 0)] = self.plane(t + app.time_offset)
-                for extra in range(1, out.time_window):
-                    held = t + app.time_offset - extra
-                    if held >= 0:
-                        try:
-                            planes[(out.name, -extra)] = self.plane(held)
-                        except KeyError:
-                            pass
-                with span("runtime.kernel_eval", kernel=app.kernel.name):
-                    val = evaluate_kernel(
-                        app.kernel, planes, self._halos, region,
-                        scalars=self._scalars,
-                    )
-                acc += np.asarray(scale * val, dtype=out.dtype.np_dtype)
+            if self._overlap and self.exchanger.pending:
+                # compute/communication overlap: the CORE block only
+                # reads interior cells of the history planes, so it is
+                # computed while the newest plane's ghost blocks are
+                # still in flight; the OWNED shell waits for them
+                core, owned = core_owned_regions(
+                    self.sub.shape, self.stencil.radius
+                )
+                if core is not None:
+                    with span("runtime.core_compute",
+                              rank=self.comm.rank, t=t):
+                        self._accumulate(acc, t, core)
+                self.exchanger.finish_exchange()
+                with span("runtime.owned_compute", rank=self.comm.rank,
+                          t=t, slabs=len(owned)):
+                    for box in owned:
+                        self._accumulate(acc, t, box)
+            else:
+                region = [(0, s) for s in self.sub.shape]
+                self._accumulate(acc, t, region)
             w = out.time_window
             slot = t % w
             self._held[slot] = t
@@ -155,6 +196,10 @@ class DistributedStencil:
             self._interior(self._planes[slot])[...] = acc
             self._refresh_ghosts(self._planes[slot])
         counter("runtime.steps", rank=self.comm.rank)
+
+    def finalize(self) -> None:
+        """Drain any in-flight overlap exchange (end of the run)."""
+        self.exchanger.finish_exchange()
 
     def local_result(self) -> np.ndarray:
         return self._interior(self.plane(self.newest)).copy()
@@ -166,7 +211,8 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
                     inputs: Optional[Mapping[str, np.ndarray]] = None,
                     exchanger: str = "async",
                     subdomains: Optional[Sequence[SubDomain]] = None,
-                    scalars=None, faults=None) -> np.ndarray:
+                    scalars=None, faults=None,
+                    exchange_mode: Optional[str] = None) -> np.ndarray:
     """Run ``timesteps`` sweeps over an MPI grid; return the global result.
 
     ``init`` are the W-1 global initial planes.  Uses the named
@@ -179,6 +225,10 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
     :class:`~repro.runtime.faults.FaultInjector` or a spec string such
     as ``"drop:p=0.2"``); the ``async`` exchanger then runs its
     retransmission protocol (see ``docs/RESILIENCE.md``).
+
+    ``exchange_mode`` selects the async exchanger's wire protocol
+    (``"basic"``/``"diag"``/``"overlap"``); results are bit-identical
+    across modes.  Leave ``None`` to use the strategy's default.
     """
     grid = tuple(int(g) for g in grid)
     out = stencil.output
@@ -225,7 +275,7 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
     def rank_main(comm: CartComm):
         dist = DistributedStencil(
             stencil, comm, subdomains, boundary, exchanger,
-            scalars=scalars,
+            scalars=scalars, exchange_mode=exchange_mode,
         )
         for name, tensor in aux_tensors.items():
             dist.set_static_input(name, tensor, np.asarray(inputs[name]))
@@ -234,6 +284,9 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
                 dist.seed(t, plane)
         for _ in range(timesteps):
             dist.step()
+        # the last plane's overlap exchange (if any) must drain before
+        # the gather so the trace DAG stays well-formed
+        dist.finalize()
         with span("runtime.gather", rank=comm.rank):
             pieces = comm.gather(
                 (dist.sub.rank, dist.local_result()), root=0
@@ -249,7 +302,9 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
 
     with span("runtime.distributed_run", stencil=out.name,
               nprocs=nprocs, grid=str(grid), timesteps=timesteps,
-              exchanger=exchanger, faulty=faults is not None):
+              exchanger=exchanger,
+              exchange_mode=exchange_mode or "default",
+              faulty=faults is not None):
         results = run_ranks(
             nprocs, rank_main, cart_dims=grid, periods=periods,
             faults=faults,

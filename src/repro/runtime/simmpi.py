@@ -300,9 +300,16 @@ class Communicator:
         ``reliable=True`` marks a control-plane message (exchanger ACKs,
         collective payloads) that injected message faults must not
         touch; a crashed rank still cannot send it.
+
+        ``buf`` may be a strided (non-contiguous) view: the copy made
+        here is the only one, so callers can hand halo strips of the
+        padded plane straight to ``Send``/``Isend`` without staging
+        them first (zero-copy packing on the caller's side).
         """
         self._check_peer(dest)
-        data = np.ascontiguousarray(buf).copy()
+        data = np.ascontiguousarray(buf)
+        if data is buf:  # already contiguous: still need a private copy
+            data = data.copy()
         flow = self._world.post(self.rank, dest, tag, data,
                                 reliable=reliable)
         if flow is not None:
@@ -317,6 +324,13 @@ class Communicator:
         (the prefix is filled and ``count`` reports the element count);
         a larger message is a truncation error.
 
+        ``buf`` may also be a strided (non-contiguous) view — e.g. a
+        ghost strip of the padded plane — in which case the payload is
+        scattered straight into the view (a strided receive is the
+        other half of zero-copy packing).  Strided receives require an
+        exact size match: there is no meaningful "prefix" of a strided
+        region.
+
         A flow-tracked message's id is recorded on the innermost open
         span — unless ``defer_flow`` is set, which parks it for
         :meth:`pop_parked_flow` so a caller completing receives inside
@@ -328,14 +342,25 @@ class Communicator:
         src, tg, data, flow = self._world.take(
             self.rank, source, tag, timeout
         )
-        flat = buf.reshape(-1)
-        if data.size > flat.size:
-            raise SimMPIError(
-                f"rank {self.rank}: message truncation — message from "
-                f"{src} tag {tg} has {data.size} elements, receive buffer "
-                f"only {flat.size}"
-            )
-        flat[: data.size] = data.reshape(-1)
+        if buf.flags.c_contiguous:
+            flat = buf.reshape(-1)
+            if data.size > flat.size:
+                raise SimMPIError(
+                    f"rank {self.rank}: message truncation — message from "
+                    f"{src} tag {tg} has {data.size} elements, receive "
+                    f"buffer only {flat.size}"
+                )
+            flat[: data.size] = data.reshape(-1)
+        else:
+            # strided view: reshape(-1) would copy and the write would
+            # be lost, so scatter element-for-element into the view
+            if data.size != buf.size:
+                raise SimMPIError(
+                    f"rank {self.rank}: strided receive needs an exact "
+                    f"size match — message from {src} tag {tg} has "
+                    f"{data.size} elements, view has {buf.size}"
+                )
+            buf[...] = data.reshape(buf.shape)
         if flow is not None:
             if defer_flow:
                 self._parked_flows.append(flow)

@@ -18,6 +18,7 @@ from repro.schedule import Schedule
 __all__ = [
     "COMMON",
     "boundaries",
+    "box_stencil_cases",
     "coefficients",
     "legal_schedules",
     "process_grids",
@@ -117,6 +118,39 @@ def star_stencil_cases(draw, ndim: int = 2, dtype=f64, max_radius: int = 2,
         w = draw(st.floats(0.1, 0.9, allow_nan=False))
         comb = w * kern[t - 1] + (1.0 - w) * kern[t - 2]
     return Stencil(tensor, comb), kern, shape
+
+
+@st.composite
+def box_stencil_cases(draw, ndim: int = 2, dtype=f64, max_radius: int = 2,
+                      max_side: int = 14):
+    """A random linear *box* stencil: every offset in ``[-r, r]^ndim``.
+
+    Returns ``(stencil, kernel, shape)``.  Box stencils read diagonal
+    neighbours directly, so they exercise corner/edge ghost propagation
+    — the part of the halo exchange the ``diag`` mode coalesces into
+    direct messages instead of relaying through dimension phases.
+    """
+    import itertools
+
+    radius = draw(st.integers(1, max_radius))
+    shape = draw(shapes(ndim, min_side=max(6, 4 * radius),
+                        max_side=max_side))
+    ivars = tuple(VarExpr(n) for n in AXIS_VARS[ndim])
+    tensor = SpNode("B", shape, dtype, halo=(radius,) * ndim,
+                    time_window=2)
+
+    offsets = list(itertools.product(range(-radius, radius + 1),
+                                     repeat=ndim))
+    npoints = len(offsets)
+    coef = draw(coefficients(npoints, npoints, bound=1.0))
+    scale = 1.0 / npoints
+    expr = None
+    for c, off in zip(coef, offsets):
+        idx = tuple(v + o for v, o in zip(ivars, off))
+        term = (c * scale) * tensor[idx]
+        expr = term if expr is None else expr + term
+    kern = Kernel("B_rand", ivars, expr)
+    return Stencil(tensor, kern[Stencil.t - 1]), kern, shape
 
 
 @st.composite

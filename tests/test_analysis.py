@@ -19,6 +19,7 @@ from repro.analysis import (
     binding_footprints,
     check_config,
     check_decomposition,
+    check_exchange_mode,
     check_kernel_schedule,
     check_program,
     check_stencil_ir,
@@ -64,7 +65,7 @@ def sunway_staged(kern, factors=(4, 8, 16)):
 
 class TestDiagnostics:
     def test_registry_covers_every_emitted_code(self):
-        assert len(DIAGNOSTIC_CODES) == 18
+        assert len(DIAGNOSTIC_CODES) == 20
         assert all(v for v in DIAGNOSTIC_CODES.values())
 
     def test_invalid_severity_rejected(self):
@@ -356,6 +357,53 @@ class TestIRAndDecompositionCodes:
         stencil, _ = build_stencil()
         rep = check_program(stencil, mpi_grid=(32, 1, 1))
         assert rep.by_code("MPI001")
+
+
+class TestExchangeModeCodes:
+    def _stencil2d(self):
+        tensor, kern = make_2d5pt(shape=(32, 32))
+        return Stencil(tensor, kern[Stencil.t - 1])
+
+    def test_exch002_unknown_mode(self):
+        rep = check_exchange_mode(self._stencil2d(), "warp", (2, 2),
+                                  (32, 32))
+        (d,) = rep.by_code("EXCH002")
+        assert "unknown exchange mode" in d.message
+
+    def test_basic_and_diag_always_legal(self):
+        st = self._stencil2d()
+        for mode in ("basic", "diag"):
+            assert check_exchange_mode(st, mode, (16, 1), (32, 32)).ok
+
+    def test_exch001_overlap_without_core_block(self):
+        # 32 split 16 ways -> sub extent 2 == 2*halo: CORE is empty
+        rep = check_exchange_mode(self._stencil2d(), "overlap", (16, 1),
+                                  (32, 32))
+        (d,) = rep.by_code("EXCH001")
+        assert "no CORE block" in d.message
+
+    def test_overlap_legal_on_roomy_grid(self):
+        rep = check_exchange_mode(self._stencil2d(), "overlap", (4, 4),
+                                  (32, 32))
+        assert rep.ok
+
+    def test_exch001_overlap_halo_below_radius(self):
+        j, i = VarExpr("j"), VarExpr("i")
+        B = SpNode("B", (32, 32), f64, halo=(0, 0), time_window=2)
+        kern = Kernel("S", (j, i), B[j, i - 1] + B[j, i + 1])
+        st = Stencil(B, kern[Stencil.t - 1])
+        rep = check_exchange_mode(st, "overlap", (1, 2), (32, 32))
+        (d,) = rep.by_code("EXCH001")
+        assert "halo" in d.message
+
+    def test_check_config_routes_exchange_mode(self):
+        st = self._stencil2d()
+        rep = check_config(st, (8, 8), (2, 2), (32, 32), CPU_E5_2680V4,
+                           exchange_mode="nope")
+        assert rep.by_code("EXCH002")
+        rep = check_config(st, (8, 8), (2, 2), (32, 32), CPU_E5_2680V4,
+                           exchange_mode="diag")
+        assert rep.ok
 
 
 # ---------------------------------------------------------------------------

@@ -33,11 +33,14 @@ class TestPerformanceModel:
         times = []
         for tx in (2, 4, 8):
             for grid in ((8, 2, 1), (4, 2, 2), (16, 1, 1)):
-                cfg = TuningConfig((tx, 8, 32), grid)
-                feats = model.features(cfg)
-                # synthetic linear ground truth over the features
-                times.append(float(feats @ [1, 2, 3, 4, 5, 6, 7]) * 1e-9)
-                configs.append(cfg)
+                for mode in ("basic", "diag", "overlap"):
+                    cfg = TuningConfig((tx, 8, 32), grid, mode)
+                    feats = model.features(cfg)
+                    # synthetic linear ground truth over the features
+                    times.append(
+                        float(feats @ [1, 2, 3, 4, 5, 6, 7, 8, 9]) * 1e-9
+                    )
+                    configs.append(cfg)
         return model, configs, times
 
     def test_fit_recovers_linear_function(self):
@@ -144,3 +147,70 @@ class TestAutoTuner:
         prog, _ = build_benchmark("3d7pt_star", grid=(8, 8, 8))
         with pytest.raises(ValueError, match="no valid MPI grid"):
             AutoTuner(prog.ir, (8, 8, 8), nprocs=1 << 20)
+
+
+class TestExchangeModeAxis:
+    """The exchange mode is a first-class tuning knob."""
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="exchange mode"):
+            TuningConfig((8, 8), (2, 2), "warp")
+
+    def test_default_mode_is_basic(self):
+        assert TuningConfig((8, 8), (2, 2)).exchange_mode == "basic"
+
+    def test_axes_include_modes(self):
+        prog, _ = build_benchmark("3d7pt_star", grid=(64, 32, 32))
+        tuner = AutoTuner(prog.ir, (64, 32, 32), nprocs=8)
+        axes = tuner.axes()
+        assert axes[-1] == ["basic", "diag", "overlap"]
+        cfg = tuner._to_config(4, 8, 16, (2, 2, 2), "diag")
+        assert cfg == TuningConfig((4, 8, 16), (2, 2, 2), "diag")
+
+    def test_mode_features_distinct(self):
+        model = PerformanceModel((128, 128), (1, 1))
+        feats = {
+            m: model.features(TuningConfig((8, 8), (2, 2), m))
+            for m in ("basic", "diag", "overlap")
+        }
+        mi = model.FEATURE_NAMES.index("messages")
+        # basic: 2 per dim; diag/overlap: all 3^n-1 direct neighbours
+        assert feats["basic"][mi] == 4.0
+        assert feats["diag"][mi] == 8.0
+        di = model.FEATURE_NAMES.index("diag_mode")
+        oi = model.FEATURE_NAMES.index("overlap_mode")
+        assert feats["diag"][di] == 1.0 and feats["diag"][oi] == 0.0
+        assert feats["overlap"][oi] == 1.0 and feats["overlap"][di] == 0.0
+        assert feats["basic"][di] == feats["basic"][oi] == 0.0
+
+    def test_overlap_measures_cheaper_comm_than_diag(self):
+        prog, _ = build_benchmark("3d7pt_star", grid=(128, 64, 64))
+        tuner = AutoTuner(prog.ir, (128, 64, 64), nprocs=8)
+        diag = tuner.measure(TuningConfig((2, 8, 64), (8, 1, 1), "diag"))
+        over = tuner.measure(
+            TuningConfig((2, 8, 64), (8, 1, 1), "overlap")
+        )
+        assert over <= diag
+
+    def test_illegal_overlap_pruned(self):
+        from repro import obs
+
+        # global extent 16 split 8 ways -> sub extent 2 == 2*halo:
+        # no CORE block, so overlap is pruned while basic/diag are legal
+        prog, _ = build_benchmark("3d7pt_star", grid=(16, 16, 16))
+        tuner = AutoTuner(prog.ir, (16, 16, 16), nprocs=8)
+        bad = TuningConfig((2, 2, 2), (8, 1, 1), "overlap")
+        report = tuner.check_config(bad)
+        assert report.by_code("EXCH001")
+        assert tuner.check_config(
+            TuningConfig((2, 2, 2), (8, 1, 1), "diag")
+        ).ok
+        with obs.capture() as (_, reg):
+            tuner.tune(iterations=300, seed=2, n_samples=20)
+            assert reg.counter_total("autotune.pruned_illegal") > 0
+
+    def test_tuned_best_carries_a_mode(self):
+        prog, _ = build_benchmark("3d7pt_star", grid=(64, 32, 32))
+        tuner = AutoTuner(prog.ir, (64, 32, 32), nprocs=8)
+        res = tuner.tune(iterations=500, seed=0, n_samples=25)
+        assert res.best.exchange_mode in ("basic", "diag", "overlap")

@@ -78,6 +78,22 @@ class TestRun:
         assert main(["run", "/nonexistent.msc"]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_run_exchange_mode_bitwise_stable(self, msc_file, capsys):
+        outputs = {}
+        for mode in ("basic", "diag", "overlap"):
+            assert main(["run", msc_file, "--steps", "3", "--seed", "5",
+                         "--exchange-mode", mode]) == 0
+            outputs[mode] = capsys.readouterr().out
+            assert "distributed over" in outputs[mode]
+        # the printed norms are identical: the mode never changes numerics
+        assert outputs["basic"] == outputs["diag"] == outputs["overlap"]
+
+    def test_run_exchange_mode_rejected_by_parser(self, msc_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", msc_file, "--exchange-mode", "warp"]
+            )
+
 
 class TestCompile:
     def test_sunway_bundle(self, tmp_path, capsys):
@@ -114,6 +130,11 @@ class TestSimulateAndReport:
 
     def test_simulate_unknown_benchmark(self, capsys):
         assert main(["simulate", "5d_monster"]) == 1
+
+    def test_simulate_exchange_mode_labelled(self, capsys):
+        assert main(["simulate", "2d9pt_box", "--machine", "cpu",
+                     "--exchange-mode", "diag"]) == 0
+        assert "distributed exchange [diag]" in capsys.readouterr().out
 
     def test_simulate_with_injected_drops(self, capsys):
         assert main([

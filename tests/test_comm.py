@@ -5,22 +5,29 @@ import numpy as np
 import pytest
 
 from repro.comm import (
+    EXCHANGE_MODES,
     AsyncHaloExchanger,
     BufferPool,
+    DiagHaloExchanger,
     HaloExchanger,
     HaloSpec,
     MasterCoordinatedExchanger,
+    OverlapHaloExchanger,
     available_exchangers,
+    core_owned_regions,
     create_exchanger,
     decompose,
+    diag_regions,
     get_exchanger,
     halo_regions,
     owner_of,
     pack,
+    pack_many,
     partition_regions,
     register_exchanger,
     suggest_grid,
     unpack,
+    unpack_many,
 )
 from repro.runtime.simmpi import run_ranks
 
@@ -193,7 +200,13 @@ def _exchange_world(exchanger_name, boundary, dims=(2, 2), halo=(1, 1),
     return run_ranks(nprocs, main, cart_dims=dims, periods=periods)
 
 
-@pytest.mark.parametrize("name", ["async", "master"])
+#: per-step message count on a periodic 2x2 world: the staged modes
+#: send 2 per dimension; diag/overlap coalesce the 8 neighbour offsets
+#: into one message per *distinct* peer (3 on a 2x2 torus)
+_WORLD_MESSAGES = {"async": 4, "master": 4, "diag": 3, "overlap": 3}
+
+
+@pytest.mark.parametrize("name", ["async", "master", "diag", "overlap"])
 class TestExchangers:
     def test_face_values_from_neighbours(self, name):
         res = _exchange_world(name, "periodic")
@@ -216,7 +229,7 @@ class TestExchangers:
 
     def test_message_count(self, name):
         res = _exchange_world(name, "periodic")
-        assert res[0]["messages"] == 4  # 2 dims × 2 directions
+        assert res[0]["messages"] == _WORLD_MESSAGES[name]
 
     def test_wrong_plane_shape_rejected(self, name):
         def main(comm):
@@ -341,3 +354,208 @@ class TestTrafficCounters:
                         periods=(True, True))
         assert all(m == 4 for m, _ in res)
         assert all(b == 4 * (6 + 2) * 8 for _, b in res)
+
+
+class TestDiagGeometry:
+    """Direct-neighbour (diag) block geometry for the coalesced mode."""
+
+    def test_all_offsets_present_2d(self):
+        spec = HaloSpec((4, 4), (1, 1))
+        regions = diag_regions(spec)
+        assert len(regions) == 8  # 3^2 - 1
+        assert {r.offset for r in regions} == {
+            (a, b) for a in (-1, 0, 1) for b in (-1, 0, 1)
+            if (a, b) != (0, 0)
+        }
+
+    def test_zero_halo_dim_pinned(self):
+        spec = HaloSpec((4, 4), (0, 1))
+        regions = diag_regions(spec)
+        assert {r.offset for r in regions} == {(0, -1), (0, 1)}
+
+    def test_recv_blocks_tile_ghost_frame_exactly_once(self):
+        # unlike the staged strips, diag recv blocks must cover every
+        # ghost cell exactly once (no relaying through phases)
+        spec = HaloSpec((4, 5), (2, 1))
+        mask = np.zeros(spec.padded_shape, dtype=int)
+        for r in diag_regions(spec):
+            mask[r.recv] += 1
+        interior = np.zeros(spec.padded_shape, dtype=bool)
+        interior[spec.interior()] = True
+        assert (mask[interior] == 0).all()
+        assert (mask[~interior] == 1).all()
+
+    def test_send_blocks_inside_valid_region(self):
+        spec = HaloSpec((4, 5), (2, 1))
+        valid = np.zeros(spec.padded_shape, dtype=bool)
+        valid[spec.interior()] = True
+        for r in diag_regions(spec):
+            assert valid[r.send].all()
+
+    def test_send_recv_counts_match(self):
+        spec = HaloSpec((6, 4, 5), (1, 2, 1))
+        plane_shape = spec.padded_shape
+        for r in diag_regions(spec):
+            send_n = int(np.zeros(plane_shape)[r.send].size)
+            recv_n = int(np.zeros(plane_shape)[r.recv].size)
+            assert send_n == recv_n == r.count(plane_shape)
+
+    def test_3d_counts(self):
+        spec = HaloSpec((4, 4, 4), (1, 1, 1))
+        assert len(diag_regions(spec)) == 26  # 3^3 - 1
+
+
+class TestCoreOwnedRegions:
+    """CORE/OWNED split used by the overlap mode."""
+
+    @staticmethod
+    def _cover(sub_shape, width):
+        core, owned = core_owned_regions(sub_shape, width)
+        mask = np.zeros(sub_shape, dtype=int)
+        if core is not None:
+            mask[tuple(slice(lo, hi) for lo, hi in core)] += 1
+        for box in owned:
+            mask[tuple(slice(lo, hi) for lo, hi in box)] += 1
+        return core, owned, mask
+
+    def test_exact_tiling_2d(self):
+        core, owned, mask = self._cover((6, 8), (1, 1))
+        assert core == [(1, 5), (1, 7)]
+        assert (mask == 1).all()
+
+    def test_exact_tiling_3d_mixed_width(self):
+        _, _, mask = self._cover((5, 6, 7), (2, 0, 1))
+        assert (mask == 1).all()
+
+    def test_zero_width_all_core(self):
+        core, owned, mask = self._cover((4, 4), (0, 0))
+        assert core == [(0, 4), (0, 4)]
+        assert owned == []
+        assert (mask == 1).all()
+
+    def test_degenerate_no_core(self):
+        # width >= half the extent: the shell swallows the interior
+        core, owned, mask = self._cover((2, 4), (1, 1))
+        assert core is None
+        assert (mask == 1).all()
+
+    def test_owned_boxes_disjoint(self):
+        _, owned, _ = self._cover((8, 8, 8), (1, 1, 1))
+        seen = np.zeros((8, 8, 8), dtype=int)
+        for box in owned:
+            seen[tuple(slice(lo, hi) for lo, hi in box)] += 1
+        assert seen.max() == 1
+
+
+class TestManyStripPacking:
+    def test_roundtrip(self, rng):
+        plane = rng.random((6, 6))
+        strips = [(slice(0, 1), slice(1, 5)), (slice(5, 6), slice(1, 5)),
+                  (slice(0, 1), slice(0, 1))]
+        buf = pack_many(plane, strips)
+        assert buf.size == 4 + 4 + 1
+        target = np.zeros_like(plane)
+        unpack_many(buf, target, strips)
+        for s in strips:
+            np.testing.assert_array_equal(target[s], plane[s])
+
+    def test_pack_into_oversized_buffer(self, rng):
+        plane = rng.random((4, 4))
+        strips = [(slice(0, 1), slice(0, 4))]
+        out = np.zeros(16)
+        buf = pack_many(plane, strips, out)
+        assert buf is out
+        np.testing.assert_array_equal(out[:4], plane[0, :4])
+
+    def test_undersized_buffer_rejected(self, rng):
+        plane = rng.random((4, 4))
+        strips = [(slice(0, 2), slice(0, 4))]
+        with pytest.raises(ValueError):
+            pack_many(plane, strips, np.zeros(4))
+        with pytest.raises(ValueError):
+            unpack_many(np.zeros(4), plane, strips)
+
+
+class TestExchangeModeContracts:
+    """Counter contracts of the exchange-mode axis (ISSUE satellites):
+    diag must beat basic on messages, and the zero-copy fast path must
+    never touch the staging pool."""
+
+    @staticmethod
+    def _run_mode(mode, periods=(True, True)):
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = AsyncHaloExchanger(comm, spec, mode=mode)
+            plane = np.zeros(spec.padded_shape)
+            plane[spec.interior()] = float(comm.rank)
+            ex.exchange(plane)
+            return (ex.messages, ex.bytes_sent, ex.pool.nbytes)
+
+        return run_ranks(4, main, cart_dims=(2, 2), periods=periods)
+
+    def test_modes_registered(self):
+        assert EXCHANGE_MODES == ("basic", "diag", "overlap")
+        assert set(available_exchangers()) >= {
+            "async", "diag", "overlap", "master"
+        }
+        assert get_exchanger("diag") is DiagHaloExchanger
+        assert get_exchanger("overlap") is OverlapHaloExchanger
+
+    def test_unknown_mode_rejected(self):
+        from repro.runtime.simmpi import SimMPIError
+
+        def main(comm):
+            AsyncHaloExchanger(comm, HaloSpec((4, 4), (1, 1)),
+                               mode="warp")
+
+        with pytest.raises(SimMPIError, match="unknown exchange mode"):
+            run_ranks(1, main, cart_dims=(1, 1))
+
+    def test_diag_sends_fewer_messages_than_basic(self):
+        # periodic 2x2, sub (4,4), halo (1,1), fp64: basic sends 4
+        # messages of 6 elements (strips span the padded extent so
+        # corners relay); diag sends one coalesced message per distinct
+        # peer: 3 messages carrying 4+4+4+4+1x4=20 elements total
+        basic = self._run_mode("basic")
+        diag = self._run_mode("diag")
+        for (bm, bb, _), (dm, db, _) in zip(basic, diag):
+            assert bm == 4 and bb == 4 * 6 * 8
+            assert dm == 3 and db == 20 * 8
+            assert dm < bm and db < bb
+
+    def test_clean_fast_path_never_touches_pool(self):
+        # zero-copy contract: on a fault-free world the staging pool
+        # stays empty in every mode
+        for mode in EXCHANGE_MODES:
+            for _, _, pool_bytes in self._run_mode(mode):
+                assert pool_bytes == 0, mode
+
+    def test_resilient_path_stages_through_pool(self):
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = AsyncHaloExchanger(comm, spec)
+            plane = np.zeros(spec.padded_shape)
+            ex.exchange(plane)
+            return ex.pool.nbytes
+
+        res = run_ranks(4, main, cart_dims=(2, 2),
+                        periods=(True, True), faults="drop:p=0.2")
+        assert all(nbytes > 0 for nbytes in res)
+
+    def test_reset_counters_zeroes_retries(self):
+        # regression: reset_counters() used to leave the resilience
+        # retry counter behind
+        def main(comm):
+            spec = HaloSpec((4, 4), (1, 1))
+            ex = AsyncHaloExchanger(comm, spec)
+            plane = np.zeros(spec.padded_shape)
+            ex.exchange(plane)
+            return ex
+
+        res = run_ranks(4, main, cart_dims=(2, 2),
+                        periods=(True, True), faults="drop:p=0.4")
+        assert sum(ex.retries for ex in res) > 0
+        for ex in res:
+            ex.reset_counters()
+            assert ex.messages == 0 and ex.bytes_sent == 0
+            assert ex.retries == 0

@@ -33,6 +33,7 @@ from repro.schedule.schedule import ScheduleError
 from tests.strategies import (
     COMMON,
     boundaries,
+    box_stencil_cases,
     legal_schedules,
     process_grids,
     seeds,
@@ -160,6 +161,66 @@ def test_distributed_run_matches_reference(case, grid, seed, boundary):
 
 
 @pytest.mark.slow
+@given(case=star_stencil_cases(ndim=2), grid=process_grids(2, 3),
+       seed=seeds(), boundary=boundaries)
+@settings(max_examples=20, **COMMON)
+def test_exchange_modes_bitwise_identical_star(case, grid, seed,
+                                               boundary):
+    """Every exchange mode must produce the *bit-identical* result: the
+    wire protocol reorders messages, never arithmetic."""
+    stencil, kern, shape = case
+    assume(check_program(stencil, mpi_grid=grid, shape=shape).ok)
+    init = init_planes(stencil, shape, seed)
+    steps = 2
+    ref = reference_run(stencil, init, steps, boundary=boundary)
+    basic = distributed_run(stencil, init, steps, grid=grid,
+                            boundary=boundary, exchange_mode="basic")
+    assert np.array_equal(basic, ref)
+    for mode in ("diag", "overlap"):
+        got = distributed_run(stencil, init, steps, grid=grid,
+                              boundary=boundary, exchange_mode=mode)
+        assert np.array_equal(got, basic), mode
+
+
+@pytest.mark.slow
+@given(case=box_stencil_cases(ndim=2), grid=process_grids(2, 3),
+       seed=seeds(), boundary=boundaries)
+@settings(max_examples=20, **COMMON)
+def test_exchange_modes_bitwise_identical_box(case, grid, seed,
+                                              boundary):
+    """Box stencils read the diagonal ghosts directly — the corner
+    blocks the diag mode ships as first-class messages."""
+    stencil, kern, shape = case
+    assume(check_program(stencil, mpi_grid=grid, shape=shape).ok)
+    init = init_planes(stencil, shape, seed)
+    steps = 2
+    ref = reference_run(stencil, init, steps, boundary=boundary)
+    basic = distributed_run(stencil, init, steps, grid=grid,
+                            boundary=boundary, exchange_mode="basic")
+    assert np.array_equal(basic, ref)
+    for mode in ("diag", "overlap"):
+        got = distributed_run(stencil, init, steps, grid=grid,
+                              boundary=boundary, exchange_mode=mode)
+        assert np.array_equal(got, basic), mode
+
+
+@pytest.mark.slow
+@given(case=box_stencil_cases(ndim=3, max_radius=1, max_side=8),
+       seed=seeds(), boundary=boundaries)
+@settings(max_examples=10, **COMMON)
+def test_exchange_modes_bitwise_identical_box_3d(case, seed, boundary):
+    stencil, kern, shape = case
+    grid = (2, 1, 2)
+    assume(check_program(stencil, mpi_grid=grid, shape=shape).ok)
+    init = init_planes(stencil, shape, seed)
+    ref = reference_run(stencil, init, 2, boundary=boundary)
+    for mode in ("basic", "diag", "overlap"):
+        got = distributed_run(stencil, init, 2, grid=grid,
+                              boundary=boundary, exchange_mode=mode)
+        assert np.array_equal(got, ref), mode
+
+
+@pytest.mark.slow
 @needs_gcc
 @given(case=star_stencil_cases(ndim=2, max_radius=1, max_side=12),
        seed=seeds(), data=st.data())
@@ -217,6 +278,12 @@ def test_differential_smoke_all_backends():
     got_mpi = distributed_run(stencil, init, steps, grid=(2, 2),
                               boundary="zero")
     assert rel_err(got_mpi, ref) < REL_TOL["f64"]
+
+    # the exchange-mode axis must be bitwise-transparent
+    for mode in ("basic", "diag", "overlap"):
+        got_mode = distributed_run(stencil, init, steps, grid=(2, 2),
+                                   boundary="zero", exchange_mode=mode)
+        assert np.array_equal(got_mode, got_mpi), mode
 
     if GCC is not None:
         got_c = run_compiled_c(stencil, kern, sched, init, steps,

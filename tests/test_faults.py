@@ -2,7 +2,10 @@
 
 The seed for the end-to-end injection tests honours the
 ``REPRO_FAULT_SEED`` environment variable so CI can sweep a seed
-matrix; every property here must hold for *any* seed.
+matrix; every property here must hold for *any* seed.  The exchange
+mode honours ``REPRO_EXCHANGE_MODE`` the same way (CI sweeps the
+fault-seed x exchange-mode product), and ``TestExchangeModesUnderFaults``
+additionally pins every mode explicitly regardless of the environment.
 """
 
 import os
@@ -27,9 +30,10 @@ from repro.runtime.simmpi import (
 )
 
 SEED = int(os.environ.get("REPRO_FAULT_SEED", "7"))
+MODE = os.environ.get("REPRO_EXCHANGE_MODE", "basic")
 
 
-def _faulty_run(spec, seed=SEED, steps=3):
+def _faulty_run(spec, seed=SEED, steps=3, mode=MODE):
     """One small distributed run under the given fault spec."""
     prog, _ = build_benchmark("2d9pt_box", grid=(20, 20),
                               boundary="periodic")
@@ -37,7 +41,8 @@ def _faulty_run(spec, seed=SEED, steps=3):
     init = [rng.random((20, 20)) for _ in range(2)]
     injector = FaultInjector(spec, seed=seed) if spec else None
     result = distributed_run(prog.ir, init, steps, (2, 2),
-                             boundary="periodic", faults=injector)
+                             boundary="periodic", faults=injector,
+                             exchange_mode=mode)
     return result, injector
 
 
@@ -361,3 +366,46 @@ class TestWorldFaultPlumbing:
         assert inj.summary() == "no faults injected"
         inj.on_message(0, 1, 0)
         assert inj.summary() == "drop=1"
+
+
+@pytest.mark.parametrize("mode", ["basic", "diag", "overlap"])
+class TestExchangeModesUnderFaults:
+    """The fault x exchange-mode matrix: every wire protocol must
+    survive every fabric lie with a bit-identical result, and the
+    retransmitted strips must stay honestly attributed in the trace."""
+
+    def test_drop_matches_fault_free(self, mode):
+        clean, _ = _faulty_run(None, mode=mode)
+        faulty, inj = _faulty_run("drop:p=0.2", mode=mode)
+        assert inj.counts["drop"] > 0, "spec never fired — test is vacuous"
+        np.testing.assert_array_equal(clean, faulty)
+
+    def test_dup_delay_reorder_matches_fault_free(self, mode):
+        clean, _ = _faulty_run(None, mode=mode)
+        faulty, inj = _faulty_run(
+            "dup:p=0.2,reorder:p=0.2,delay:p=0.15:ms=5", mode=mode
+        )
+        assert sum(inj.counts.values()) > 0
+        np.testing.assert_array_equal(clean, faulty)
+
+    def test_modes_agree_under_faults(self, mode):
+        # the cross-mode differential also holds on a *faulty* fabric:
+        # retransmissions reorder messages, never arithmetic
+        base, _ = _faulty_run("drop:p=0.25", mode="basic")
+        got, inj = _faulty_run("drop:p=0.25", mode=mode)
+        assert inj.counts["drop"] > 0
+        np.testing.assert_array_equal(base, got)
+
+    def test_retry_flows_land_on_retry_spans(self, mode):
+        from repro.obs.distributed import DistributedTrace
+
+        with capture() as (tr, reg):
+            _, inj = _faulty_run("drop:p=0.3", mode=mode)
+        assert inj.counts["drop"] > 0
+        assert reg.counter_total("comm.retry") > 0
+        dt = DistributedTrace.from_live(tr, reg)
+        assert dt.validate() == []
+        producer_names = {
+            dt.by_id[e.src_span]["name"] for e in dt.edges
+        }
+        assert "comm.retry" in producer_names

@@ -368,6 +368,43 @@ class TestWorkloads:
             res["phases_host"]
         )
 
+    def test_exchange_mode_specs_resolve(self):
+        names = perf.available_workloads()
+        for mode in ("basic", "diag", "overlap"):
+            spec = f"exchange:2d9pt_box@{mode}"
+            assert spec in names
+            wl = perf.workload_by_name(spec)
+            assert wl.name == f"exchange:2d9pt_box@{mode}"
+            assert wl.meta["exchange_mode"] == mode
+        assert perf.workload_by_name(
+            "exchange:2d9pt_box"
+        ).meta["exchange_mode"] == "compare"
+        with pytest.raises(ValueError, match="unknown exchange mode"):
+            perf.workload_by_name("exchange:2d9pt_box@warp")
+
+    def test_exchange_comparative_metrics(self):
+        wl = perf.workload_by_name("exchange:2d9pt_box")
+        res = perf.run_workload(wl, repeats=2, warmup=0)
+        m = res["metrics"]
+        # diag coalesces corners into direct messages: strictly fewer
+        assert m["comm.messages.diag"]["gate"]
+        assert m["comm.messages.diag"]["median"] < m["comm.messages"]["median"]
+        assert m["diag.msg_saving"]["median"] > 0
+        # every mode is bitwise-transparent
+        assert m["exchange.modes_bitwise_equal"]["median"] == 1.0
+        # all three modes take the zero-copy clean path: no pool staging
+        assert m["comm.pool_bytes"]["median"] == 0.0
+        assert m["comm.pool_bytes"]["gate"]
+
+    def test_exchange_single_mode_workload(self):
+        wl = perf.workload_by_name("exchange:2d9pt_box@diag")
+        res = perf.run_workload(wl, repeats=2, warmup=0)
+        m = res["metrics"]
+        assert m["comm.bytes_sent"]["median"] > 0
+        assert m["comm.pool_bytes"]["median"] == 0.0
+        # per-mode workloads skip the cross-mode comparison metrics
+        assert "diag.msg_saving" not in m
+
 
 # -- CLI -------------------------------------------------------------------
 class TestBenchCLI:
