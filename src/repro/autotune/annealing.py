@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..obs import counter, gauge, span
+from ..obs.events import emit
 
 __all__ = ["AnnealingResult", "simulated_annealing"]
 
@@ -137,6 +138,10 @@ def simulated_annealing(
                     best_state, best_e = cand, cand_e
                     converged_at = it
                     gauge("autotune.best_energy", best_e)
+                    # events only at new bests: a 20k-iteration anneal
+                    # must not write 20k narration lines
+                    emit("autotune.new_best", iteration=it,
+                         energy=best_e)
             else:
                 counter("autotune.rejected_moves")
             if it % history_stride == 0:

@@ -23,6 +23,7 @@ from ..comm.exchange import EXCHANGE_MODES
 from ..ir.analysis import halo_traffic_bytes, stencil_flops_per_point
 from ..ir.stencil import Stencil
 from ..obs import counter, gauge, observe, span
+from ..obs.events import emit
 from ..machine.spec import (
     MachineSpec,
     NetworkSpec,
@@ -223,6 +224,7 @@ class AutoTuner:
         times: List[float] = []
         attempts = 0
         pruned_samples = 0
+        emit("phase.enter", phase="autotune.sample", n_samples=n_samples)
         with span("autotune.sample_phase", n_samples=n_samples) as psp:
             while len(samples) < n_samples and attempts < 50 * n_samples:
                 attempts += 1
@@ -243,6 +245,8 @@ class AutoTuner:
                 times.append(t)
                 observe("autotune.sample_time_s", t)
             psp.set(pruned=pruned_samples)
+        emit("phase.exit", phase="autotune.sample",
+             feasible=len(samples), pruned=pruned_samples)
         if len(samples) < len(PerformanceModel.FEATURE_NAMES):
             raise RuntimeError(
                 "could not sample enough feasible configurations; the "
@@ -256,6 +260,7 @@ class AutoTuner:
             r2 = model.score(samples, times)
             fsp.set(r2=r2)
         gauge("autotune.model_r2", r2)
+        emit("autotune.model_fit", samples=len(samples), r2=r2)
 
         def energy(*values) -> float:
             cfg = self._to_config(*values)
@@ -285,10 +290,15 @@ class AutoTuner:
         start.append(axes[-2].index(best_sample.mpi_grid)
                      if best_sample.mpi_grid in axes[-2] else 0)
         start.append(axes[-1].index(best_sample.exchange_mode))
+        emit("phase.enter", phase="autotune.anneal",
+             iterations=iterations, seed=seed)
         result = simulated_annealing(
             axes, energy, iterations=iterations, seed=seed,
             initial_state=tuple(start), prune=prune,
         )
+        emit("phase.exit", phase="autotune.anneal",
+             best_energy=result.best_energy,
+             converged_at=result.converged_at, pruned=result.pruned)
         with span("autotune.remeasure"):
             best_cfg = self._to_config(
                 *(ax[idx] for ax, idx in zip(axes, result.best_state))

@@ -306,6 +306,7 @@ def build_artifact(sources: Mapping[str, str], binary_name: str,
     A hit spawns no compiler subprocess and bumps ``native.cache.hit``.
     """
     from ..obs import counter, span
+    from ..obs.events import emit
 
     cc_path = which_cc(cc)
     if cc_path is None:
@@ -327,9 +328,11 @@ def build_artifact(sources: Mapping[str, str], binary_name: str,
     hit = cache.lookup(key, binary_name)
     if hit is not None:
         counter("native.cache.hit", kind=kind)
+        emit("native.cache.hit", kind=kind, key=key[:12])
         return BuiltArtifact(path=hit[0], key=key, cached=True,
                              meta=hit[1])
     counter("native.cache.miss", kind=kind)
+    emit("native.cache.miss", level="warn", kind=kind, key=key[:12])
     cfiles = list(compile_files) if compile_files is not None else sorted(
         name for name in sources if name.endswith(".c")
     )

@@ -20,6 +20,9 @@ Commands
 - ``report EXPERIMENT`` — regenerate one table/figure of the paper;
 - ``trace FILE`` — summarize a saved execution trace (``--by-rank`` /
   ``--distributed`` add the per-rank and flow-edge views);
+- ``monitor SOURCE`` — refreshing ASCII dashboard over a live run:
+  SOURCE is a ``--serve-metrics`` scrape URL or an ``--event-log``
+  JSONL file (``--once`` renders a single frame and exits);
 - ``critpath FILE`` — communication critical path and load-imbalance
   report of a saved distributed trace; exits non-zero on a malformed
   span DAG (orphan inbound flow edges, dangling parents);
@@ -38,6 +41,14 @@ are logged to stderr; ``--no-check`` skips the gate.
 ``simulate`` additionally accepts ``--inject-faults SPEC
 [--fault-seed N]`` to run the distributed-exchange stage over a faulty
 simulated fabric (see ``docs/RESILIENCE.md``).
+
+Live telemetry (``run``/``simulate``/``tune``/``bench``): the span
+flight recorder is on by default (``REPRO_FLIGHT=0`` opts out,
+``REPRO_FLIGHT_CAPACITY`` resizes the ring); ``--serve-metrics PORT``
+exposes OpenMetrics + flight state on ``127.0.0.1:PORT`` while the
+command runs (``--serve-linger`` keeps it up after); ``--event-log
+FILE`` (or ``REPRO_EVENT_LOG``) appends the structured JSONL event
+narration.  ``repro monitor`` tails either surface.
 """
 
 from __future__ import annotations
@@ -62,6 +73,21 @@ def _add_trace_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace-format", default="json",
                    choices=["json", "chrome", "summary"],
                    help="trace file format (default: json)")
+
+
+def _add_live_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--serve-metrics", default=None, type=int,
+                   metavar="PORT",
+                   help="serve OpenMetrics + flight-recorder state on "
+                        "127.0.0.1:PORT while the command runs "
+                        "(0 picks a free port)")
+    p.add_argument("--serve-linger", default=0.0, type=float,
+                   metavar="SECONDS",
+                   help="keep the --serve-metrics endpoint up this "
+                        "long after the command finishes (default: 0)")
+    p.add_argument("--event-log", default=None, metavar="FILE",
+                   help="append the structured JSONL event narration "
+                        "to FILE (default: $REPRO_EVENT_LOG if set)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-check", action="store_true",
                    help="skip the static schedule-legality gate")
     _add_trace_flags(p)
+    _add_live_flags(p)
 
     p = sub.add_parser("simulate", help="timing report for a benchmark")
     p.add_argument("benchmark")
@@ -143,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-check", action="store_true",
                    help="skip the static schedule-legality gate")
     _add_trace_flags(p)
+    _add_live_flags(p)
 
     p = sub.add_parser("tune", help="auto-tune a benchmark")
     p.add_argument("benchmark")
@@ -152,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=20000)
     p.add_argument("--seed", type=int, default=0)
     _add_trace_flags(p)
+    _add_live_flags(p)
 
     p = sub.add_parser("bench", help="statistical performance benchmark")
     p.add_argument("workloads", nargs="*", metavar="WORKLOAD",
@@ -191,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="multiply a machine-spec field (e.g. "
                         "dma_startup_us=10) — for regression-gate "
                         "testing (repeatable)")
+    _add_live_flags(p)
 
     p = sub.add_parser("verify", help="Sec. 5.1 correctness check")
     p.add_argument("benchmark")
@@ -211,6 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distributed", action="store_true",
                    help="add per-rank tables, flow-edge stats and the "
                         "critical-path summary")
+
+    p = sub.add_parser(
+        "monitor",
+        help="live ASCII dashboard over a running job's telemetry",
+    )
+    p.add_argument("source",
+                   help="scrape URL (http://127.0.0.1:PORT from "
+                        "--serve-metrics) or an --event-log JSONL file")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (no screen refresh)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds (default: 1.0)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="scrape timeout in seconds (default: 5.0)")
 
     p = sub.add_parser(
         "critpath",
@@ -689,6 +733,13 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from .obs.monitor import run_monitor
+
+    return run_monitor(args.source, once=args.once,
+                       interval=args.interval, timeout=args.timeout)
+
+
 def _cmd_critpath(args) -> int:
     import json
 
@@ -753,24 +804,88 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "monitor": _cmd_monitor,
     "critpath": _cmd_critpath,
     "list": _cmd_list,
 }
 
 
+def _flight_default_on() -> bool:
+    """Flight recorder on unless ``REPRO_FLIGHT`` opts out."""
+    import os
+
+    return os.environ.get("REPRO_FLIGHT", "1").lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+def _flight_capacity() -> int:
+    import os
+
+    from .obs.trace import DEFAULT_FLIGHT_CAPACITY
+
+    raw = os.environ.get("REPRO_FLIGHT_CAPACITY", "")
+    try:
+        return max(1, int(raw)) if raw else DEFAULT_FLIGHT_CAPACITY
+    except ValueError:
+        return DEFAULT_FLIGHT_CAPACITY
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    import os
+    import time as _time
+
     args = build_parser().parse_args(argv)
     trace_file = getattr(args, "trace", None)
+    serve_port = getattr(args, "serve_metrics", None)
+    event_path = getattr(args, "event_log", None) or os.environ.get(
+        "REPRO_EVENT_LOG"
+    )
     if trace_file:
         from . import obs
 
         obs.reset()
         obs.enable()
+
+    # flight recorder: always-on ring of completed spans (bounded, so
+    # safe as a default).  Prior state is restored on exit because the
+    # test suite calls main() in-process.
+    from .obs import events as obs_events
+    from .obs import trace as obs_trace
+
+    tr = obs_trace.tracer()
+    prior_flight = tr.flight
+    if _flight_default_on():
+        obs_trace.enable_flight(capacity=_flight_capacity())
+
+    installed_sink = None
+    if event_path:
+        # replaces (and closes) any previously installed sink
+        installed_sink = obs_events.install(event_path)
+
+    server = sampler = None
+    prior_reg_enabled = None
+    if serve_port is not None:
+        from .obs import registry
+        from .obs.live import MetricsSampler, TelemetryServer
+
+        reg = registry()
+        prior_reg_enabled = reg.enabled
+        reg.enable()
+        sampler = MetricsSampler()
+        sampler.start()
+        server = TelemetryServer(port=serve_port, sampler=sampler)
+        server.start()
+        print(f"serving telemetry on {server.url}/metrics "
+              f"(also /flight, /series)")
+
     try:
         from .obs import span
 
         with span(f"cli.{args.command}"):
+            obs_events.emit("cli.start", command=args.command)
             rc = _COMMANDS[args.command](args)
+            obs_events.emit("cli.exit", command=args.command, rc=rc)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         rc = 1
@@ -782,6 +897,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             from . import obs
 
             obs.disable()
+        if server is not None:
+            linger = getattr(args, "serve_linger", 0.0) or 0.0
+            if linger > 0:
+                print(f"telemetry endpoint lingering {linger:g}s "
+                      f"at {server.url} ...")
+                _time.sleep(linger)
+            server.stop()
+            sampler.stop(final_sample=False)
+            if prior_reg_enabled is False:
+                from .obs import registry
+
+                registry().disable()
+        if installed_sink is not None:
+            obs_events.uninstall()
+        # restore the caller's flight-recorder state
+        tr._flight = prior_flight
+        tr._sync()
     if trace_file:
         from .obs import tracer
         from .obs.export import write_trace

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs import counter, span
+from ..obs.events import emit
 from ..obs.trace import attach_flow
 from ..runtime.simmpi import CartComm, Request, SimMPIError
 from .halo import HaloSpec, Region, Slices, diag_regions, halo_regions
@@ -583,6 +584,9 @@ class AsyncHaloExchanger(HaloExchanger):
                 entry["attempts"] += 1
                 self.retries += 1
                 counter("comm.retry", rank=comm.rank, dim=tr.dim)
+                emit("comm.retry", level="warn", rank=comm.rank,
+                     dim=tr.dim, dir=tr.dir, peer=tr.peer,
+                     attempt=entry["attempts"])
                 with span("comm.retry", rank=rank, dim=tr.dim,
                           dir=tr.dir, attempt=entry["attempts"],
                           bytes=entry["sbuf"].nbytes):

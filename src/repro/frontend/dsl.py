@@ -372,13 +372,21 @@ class StencilProgram:
                 exchange_mode=exchange_mode,
             )
         from ..backend.numpy_backend import ScheduledExecutor, reference_run
+        from ..obs import counter, span
 
+        out_name = self.ir.output.name
         if not scheduled:
-            return reference_run(
-                self.ir, init, timesteps, self.boundary,
-                inputs=self._inputs or None,
-                scalars=self._scalars or None,
-            )
+            with span("runtime.run", stencil=out_name,
+                      timesteps=timesteps, backend="reference",
+                      exchange_mode="none"):
+                result = reference_run(
+                    self.ir, init, timesteps, self.boundary,
+                    inputs=self._inputs or None,
+                    scalars=self._scalars or None,
+                )
+            counter("runtime.runs", backend="reference",
+                    exchange_mode="none")
+            return result
         if backend in ("native", "auto"):
             if check:
                 self._gate("cpu", "run")
@@ -394,7 +402,13 @@ class StencilProgram:
                     inputs=self._inputs or None,
                     scalars=self._scalars or None,
                 )
-                return ex.run(init, timesteps)
+                with span("runtime.run", stencil=out_name,
+                          timesteps=timesteps, backend="native",
+                          exchange_mode="none"):
+                    result = ex.run(init, timesteps)
+                counter("runtime.runs", backend="native",
+                        exchange_mode="none")
+                return result
             except (NativeUnavailable, NativeBuildError):
                 if backend == "native":
                     raise
@@ -409,7 +423,12 @@ class StencilProgram:
             inputs=self._inputs or None,
             scalars=self._scalars or None,
         )
-        return ex.run(init, timesteps)
+        with span("runtime.run", stencil=out_name,
+                  timesteps=timesteps, backend="numpy",
+                  exchange_mode="none"):
+            result = ex.run(init, timesteps)
+        counter("runtime.runs", backend="numpy", exchange_mode="none")
+        return result
 
     # -- code generation ------------------------------------------------------
     #: machine whose constraints gate codegen, per backend target

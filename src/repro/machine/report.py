@@ -79,7 +79,13 @@ class TimingReport:
         ``compute`` is the arithmetic critical path, ``spm-dma`` the
         memory/DMA critical path (DMA on cache-less machines, cache
         traffic otherwise), ``other`` the fixed per-run overhead.
+
+        A zero-work report (no modelled time at all) attributes to no
+        phase: the empty dict lets callers print "nothing to show"
+        instead of a table of zeros.
         """
+        if self.total_s == 0:
+            return {}
         return {
             "compute": self.compute_s * self.timesteps,
             "spm-dma": self.memory_s * self.timesteps,

@@ -5,18 +5,30 @@ time goes*: DMA vs. compute on the SW26010, pack/send/wait in the halo
 exchange, trial-by-trial convergence of the annealing tuner.  This
 package is the measurement substrate for those claims:
 
-- :mod:`repro.obs.trace`   — hierarchical spans with attributes,
+- :mod:`repro.obs.trace`   — hierarchical spans with attributes, plus
+  the bounded :class:`~repro.obs.trace.FlightRecorder` ring,
 - :mod:`repro.obs.metrics` — labeled counters/gauges/histograms,
 - :mod:`repro.obs.export`  — JSON, Chrome ``trace_event`` and ASCII
   summary exporters,
+- :mod:`repro.obs.openmetrics` — OpenMetrics text exposition + strict
+  parser (the ``/metrics`` scrape payload),
+- :mod:`repro.obs.events`  — structured JSONL event log
+  (``--event-log`` / ``REPRO_EVENT_LOG``),
+- :mod:`repro.obs.live`    — metrics time-series sampler + localhost
+  scrape server (``--serve-metrics``),
+- :mod:`repro.obs.monitor` — the ``repro monitor`` ASCII dashboard,
 - :mod:`repro.obs.perf`    — the performance observatory: statistical
   bench runner, span-based phase attribution, roofline reports and
   the ``repro bench`` regression gate (import explicitly:
   ``from repro.obs import perf``).
 
-Everything is **off by default** and free when off: instrumentation
+Full recording is **off by default** and free when off: instrumentation
 sites cost one flag check and record nothing until :func:`enable` is
-called (the CLI's ``--trace`` flag, or :func:`capture` in tests).
+called (the CLI's ``--trace`` flag, or :func:`capture` in tests).  The
+*flight recorder* is the always-on middle ground: :func:`enable_flight`
+keeps the last N completed spans in a fixed ring (drops accounted via
+``obs.dropped_spans``) without ever growing memory, cheap enough for
+long-lived service runs.
 
 Instrumented subsystems (span name prefixes):
 
@@ -49,10 +61,22 @@ from .metrics import (
     observe,
     registry,
 )
-from .trace import Span, Tracer, attach_flow, is_enabled, span, tracer
+from .trace import (
+    FlightRecorder,
+    Span,
+    Tracer,
+    attach_flow,
+    disable_flight,
+    enable_flight,
+    flight,
+    is_enabled,
+    span,
+    tracer,
+)
 
 __all__ = [
     "INSTRUMENTED_SUBSYSTEMS",
+    "FlightRecorder",
     "MetricsRegistry",
     "Span",
     "Tracer",
@@ -60,7 +84,10 @@ __all__ = [
     "capture",
     "counter",
     "disable",
+    "disable_flight",
     "enable",
+    "enable_flight",
+    "flight",
     "gauge",
     "is_enabled",
     "observe",
@@ -97,15 +124,19 @@ def reset() -> None:
 
 
 @contextmanager
-def rank_scope(rank: int):
+def rank_scope(rank: int, **extra):
     """Tag every span and metric written on this thread with ``rank=``.
 
     Bound by ``run_ranks`` around each simulated MPI rank thread so
     distributed traces carry per-rank attribution end to end (see
     :mod:`repro.obs.distributed`).  Explicit ``rank=`` attrs/labels at
     an instrumentation site win over the scope's value.
+
+    ``extra`` attrs (e.g. ``backend=``, ``exchange_mode=``) join the
+    **span** scope only — metric series keep their exact historical
+    label sets so ``counter_value(name, rank=r)`` lookups stay stable.
     """
-    with tracer().scope(rank=rank), registry().scope(rank=rank):
+    with tracer().scope(rank=rank, **extra), registry().scope(rank=rank):
         yield
 
 

@@ -180,12 +180,15 @@ def _aggregate(spans: List[Dict[str, Any]]) -> Dict[tuple, Dict[str, Any]]:
 def _summarize(spans: List[Dict[str, Any]],
                metrics: Dict[str, Dict[str, Any]]) -> str:
     lines: List[str] = []
+    if not spans and not metrics:
+        return ("TRACE SUMMARY  (empty: 0 spans)\n"
+                "(no spans recorded — was tracing enabled?)")
     threads = {s["thread"] for s in spans if s.get("thread")}
     total = sum(
         s["duration_s"] for s in spans if s.get("parent_id") is None
     )
     lines.append(
-        f"TRACE SUMMARY  ({len(spans)} spans, {max(1, len(threads))} "
+        f"TRACE SUMMARY  ({len(spans)} spans, {len(threads)} "
         f"threads, root total {_fmt_time(total)})"
     )
     if spans:
@@ -324,7 +327,14 @@ def _spans_from_chrome(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 def load_trace(path: str) -> Dict[str, Any]:
     """Load a saved trace file (native or chrome) into the native dict."""
     with open(path) as fh:
-        doc = json.load(fh)
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path} is not a trace file (invalid JSON at line "
+                f"{exc.lineno}: {exc.msg}) — was it saved with "
+                f"--trace-format summary?"
+            ) from None
     if isinstance(doc, dict) and doc.get("format") == NATIVE_FORMAT:
         return doc
     if isinstance(doc, dict) and "traceEvents" in doc:

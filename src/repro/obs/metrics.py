@@ -205,6 +205,27 @@ class MetricsRegistry:
             "histograms": hists,
         }
 
+    def raw_snapshot(self) -> Dict[str, Dict[_SeriesKey, Any]]:
+        """Point-in-time copy keyed by ``(name, labels)`` tuples.
+
+        Unlike :meth:`snapshot` nothing is formatted or summarised —
+        histogram series keep their raw observation lists — so exporters
+        (OpenMetrics, the live sampler) can aggregate on their own
+        terms.  Taken under the registry lock: never torn.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: list(v) for k, v in self._hists.items()},
+            }
+
+    def to_openmetrics(self) -> str:
+        """Render current state as OpenMetrics text (ends in ``# EOF``)."""
+        from .openmetrics import render
+
+        return render(self.raw_snapshot())
+
 
 _REGISTRY = MetricsRegistry()
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from .. import capture
+from ..events import emit
 from ..metrics import _percentile
 from .phases import PhaseAttribution, attribute
 from .schema import BENCH_FORMAT, BENCH_VERSION
@@ -117,13 +118,15 @@ def run_workload(workload: Workload, repeats: int = 5, warmup: int = 1,
         raise ValueError("repeats must be >= 1")
     if warmup < 0:
         raise ValueError("warmup must be >= 0")
+    emit("phase.enter", phase="bench.workload", workload=workload.name,
+         repeats=repeats, warmup=warmup)
     for _ in range(warmup):
         workload.fn(seed)
 
     samples: List[Dict[str, float]] = []
     host_attrs: List[PhaseAttribution] = []
     out: Optional[WorkloadOutput] = None
-    for _ in range(repeats):
+    for rep in range(repeats):
         with capture() as (tr, _reg):
             t0 = _perf_counter()
             out = workload.fn(seed)
@@ -132,7 +135,10 @@ def run_workload(workload: Workload, repeats: int = 5, warmup: int = 1,
         sample = dict(out.metrics)
         sample["host.wall_s"] = wall
         samples.append(sample)
+        emit("bench.repeat", level="debug", workload=workload.name,
+             repeat=rep, wall_s=round(wall, 6))
     assert out is not None
+    emit("phase.exit", phase="bench.workload", workload=workload.name)
 
     specs = dict(workload.metric_specs)
     specs.setdefault("host.wall_s", MetricSpec(unit="s", gate=False))

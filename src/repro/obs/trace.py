@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Mapping, Optional
 
 __all__ = [
     "Span",
+    "FlightRecorder",
     "Tracer",
     "tracer",
     "span",
@@ -42,7 +44,13 @@ __all__ = [
     "is_enabled",
     "reset",
     "attach_flow",
+    "enable_flight",
+    "disable_flight",
+    "flight",
 ]
+
+#: default flight-recorder ring capacity (spans)
+DEFAULT_FLIGHT_CAPACITY = 2048
 
 
 @dataclass
@@ -71,6 +79,166 @@ class Span:
             "thread": self.thread,
             "attrs": dict(self.attrs),
         }
+
+
+class FlightRecorder:
+    """Bounded ring buffer of completed spans (the *flight recorder*).
+
+    Full tracing (:meth:`Tracer.enable`) keeps every span in an
+    unbounded list — right for one bounded run that exports a file at
+    the end, wrong for a long-lived service.  The flight recorder is
+    the always-on alternative: completed spans land in a ring of fixed
+    ``capacity``; once full, the oldest span is evicted and counted
+    under ``obs.dropped_spans``, so memory never grows past the
+    configured bound no matter how long the run lives.
+
+    ``sample`` maps span names to a keep-1-in-N rate
+    (``{"runtime.kernel_eval": 16}``): only every Nth completed span of
+    that name enters the ring (deterministic per-name counters, no
+    RNG), which keeps hot inner loops from flushing out the rare
+    interesting spans.  Sampled-out spans are accounted separately
+    from ring evictions.
+
+    All methods are thread-safe; the recorder is attached to a
+    :class:`Tracer` via :meth:`Tracer.enable_flight`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                 sample: Optional[Mapping[str, int]] = None):
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError("flight-recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.sample: Dict[str, int] = {}
+        for name, n in (sample or {}).items():
+            n = int(n)
+            if n < 1:
+                raise ValueError(
+                    f"sample rate for {name!r} must be >= 1, got {n}"
+                )
+            self.sample[str(name)] = n
+        self._lock = threading.Lock()
+        # maxlen is a hard backstop: even a bookkeeping bug can never
+        # grow the ring past capacity
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self._seen = 0
+        self._kept = 0
+        self._dropped = 0
+        self._sampled_out = 0
+        self._name_counts: Dict[str, int] = {}
+
+    # -- recording -------------------------------------------------------
+    def record(self, record: Span) -> None:
+        """Offer one completed span to the ring."""
+        with self._lock:
+            self._seen += 1
+            rate = self.sample.get(record.name, 1)
+            if rate > 1:
+                seq = self._name_counts.get(record.name, 0)
+                self._name_counts[record.name] = seq + 1
+                if seq % rate:
+                    self._sampled_out += 1
+                    return
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+                dropped = True
+            else:
+                dropped = False
+            self._ring.append(record)
+            self._kept += 1
+        if dropped:
+            # mirror the eviction into the metrics registry so scrapes
+            # see drop pressure; the local counter above is the source
+            # of truth and never depends on the registry being enabled
+            from .metrics import counter as _counter
+
+            _counter("obs.dropped_spans")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._seen = self._kept = 0
+            self._dropped = self._sampled_out = 0
+            self._name_counts = {}
+
+    # -- accounting ------------------------------------------------------
+    @property
+    def seen(self) -> int:
+        """Completed spans offered to the recorder."""
+        return self._seen
+
+    @property
+    def kept(self) -> int:
+        """Spans that entered the ring (≤ seen)."""
+        return self._kept
+
+    @property
+    def dropped(self) -> int:
+        """Ring evictions (the ``obs.dropped_spans`` count)."""
+        return self._dropped
+
+    @property
+    def sampled_out(self) -> int:
+        """Spans skipped by per-name sampling (not evictions)."""
+        return self._sampled_out
+
+    def counts(self) -> Dict[str, int]:
+        """One consistent accounting snapshot."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "buffered": len(self._ring),
+                "seen": self._seen,
+                "kept": self._kept,
+                "dropped": self._dropped,
+                "sampled_out": self._sampled_out,
+            }
+
+    # -- reading ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def snapshot(self) -> List[Span]:
+        """Buffered spans, oldest first (a consistent copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    def top(self, k: int = 5, by: str = "total") -> List[Dict[str, Any]]:
+        """Hottest span names over the buffered window.
+
+        ``by`` is ``"total"`` (aggregate duration) or ``"count"``.
+        Each entry carries name/count/total_s/max_s/avg_s.
+        """
+        if by not in ("total", "count"):
+            raise ValueError(f"unknown top-k ordering {by!r}")
+        agg: Dict[str, Dict[str, Any]] = {}
+        for s in self.snapshot():
+            node = agg.setdefault(
+                s.name, {"name": s.name, "count": 0, "total_s": 0.0,
+                         "max_s": 0.0}
+            )
+            node["count"] += 1
+            node["total_s"] += s.duration_s
+            node["max_s"] = max(node["max_s"], s.duration_s)
+        for node in agg.values():
+            node["avg_s"] = node["total_s"] / node["count"]
+        key = "total_s" if by == "total" else "count"
+        ordered = sorted(agg.values(), key=lambda n: -n[key])
+        return ordered[:max(0, int(k))]
+
+    def span_rate(self, window_s: float, now_s: float) -> float:
+        """Spans/second completed in the trailing window.
+
+        ``now_s`` is the caller's current tracer-epoch offset (pair it
+        with ``time.perf_counter() - epoch``); only buffered spans are
+        visible, so the rate saturates once the window outlives the
+        ring.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        lo = now_s - window_s
+        n = sum(1 for s in self.snapshot() if s.end_s >= lo)
+        return n / window_s
 
 
 class _NoopSpan:
@@ -161,8 +329,12 @@ class _SpanContext:
             thread=threading.current_thread().name,
             attrs=active.attrs,
         )
-        with tr._lock:
-            tr.records.append(record)
+        if tr._keep_all:
+            with tr._lock:
+                tr.records.append(record)
+        fl = tr._flight
+        if fl is not None:
+            fl.record(record)
         return False
 
 
@@ -174,6 +346,10 @@ class Tracer:
 
     def __init__(self) -> None:
         self._enabled = False
+        #: full recording on (every span appended to ``records``)
+        self._keep_all = False
+        #: attached :class:`FlightRecorder`, or ``None``
+        self._flight: Optional[FlightRecorder] = None
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._next_id = 1
@@ -199,14 +375,54 @@ class Tracer:
         return self._enabled
 
     def enable(self) -> None:
+        """Turn on full recording (every completed span kept)."""
         # re-anchor the clock pair on a fresh recording only: records
         # already taken must keep their epoch
         if not self._enabled and not self.records:
             self._anchor()
-        self._enabled = True
+        self._keep_all = True
+        self._sync()
 
     def disable(self) -> None:
-        self._enabled = False
+        """Turn off full recording (an attached flight ring stays live)."""
+        self._keep_all = False
+        self._sync()
+
+    def _sync(self) -> None:
+        # spans are produced while either consumer is attached; the
+        # single `_enabled` flag keeps the span() fast path one check
+        self._enabled = self._keep_all or self._flight is not None
+
+    # -- flight recorder ------------------------------------------------
+    @property
+    def flight(self) -> Optional[FlightRecorder]:
+        """The attached :class:`FlightRecorder`, or ``None``."""
+        return self._flight
+
+    def enable_flight(self, capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                      sample: Optional[Mapping[str, int]] = None,
+                      ) -> FlightRecorder:
+        """Attach a flight recorder (bounded ring of completed spans).
+
+        Independent of :meth:`enable`: the ring can run alone (the
+        always-on default for services) or alongside full recording.
+        Re-attaching replaces the previous ring.
+        """
+        if not self._enabled and not self.records:
+            self._anchor()
+        fl = FlightRecorder(capacity=capacity, sample=sample)
+        self._flight = fl
+        self._sync()
+        return fl
+
+    def disable_flight(self) -> None:
+        """Detach (and discard) the flight recorder, if any."""
+        self._flight = None
+        self._sync()
+
+    def now_s(self) -> float:
+        """Current offset from the tracer epoch (pairs with span times)."""
+        return time.perf_counter() - self._epoch
 
     def reset(self) -> None:
         """Drop all records and restart the clock epoch."""
@@ -215,6 +431,9 @@ class Tracer:
             self._next_id = 1
             self._anchor()
         self._tls = threading.local()
+        fl = self._flight
+        if fl is not None:
+            fl.clear()
 
     # -- recording -------------------------------------------------------
     def _stack(self) -> List[_ActiveSpan]:
@@ -325,3 +544,20 @@ def reset() -> None:
 def attach_flow(direction: str, flow_id: str) -> None:
     """Record a message-flow id on the global tracer's current span."""
     _TRACER.attach_flow(direction, flow_id)
+
+
+def enable_flight(capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                  sample: Optional[Mapping[str, int]] = None,
+                  ) -> FlightRecorder:
+    """Attach a flight recorder to the global tracer."""
+    return _TRACER.enable_flight(capacity=capacity, sample=sample)
+
+
+def disable_flight() -> None:
+    """Detach the global tracer's flight recorder."""
+    _TRACER.disable_flight()
+
+
+def flight() -> Optional[FlightRecorder]:
+    """The global tracer's flight recorder, or ``None``."""
+    return _TRACER._flight

@@ -20,6 +20,7 @@ from ..comm.halo import HaloSpec, core_owned_regions
 from ..ir.stencil import Stencil
 from ..ir.validate import validate_stencil
 from ..obs import counter, span
+from ..obs.events import emit
 from .simmpi import CartComm, run_ranks
 
 __all__ = ["distributed_run", "DistributedStencil"]
@@ -300,13 +301,21 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
             result[sd.slices()] = data
         return result
 
+    mode = exchange_mode or "default"
+    counter("runtime.runs", backend="numpy", exchange_mode=mode)
     with span("runtime.distributed_run", stencil=out.name,
               nprocs=nprocs, grid=str(grid), timesteps=timesteps,
-              exchanger=exchanger,
-              exchange_mode=exchange_mode or "default",
+              exchanger=exchanger, backend="numpy",
+              exchange_mode=mode,
               faulty=faults is not None):
-        results = run_ranks(
-            nprocs, rank_main, cart_dims=grid, periods=periods,
-            faults=faults,
-        )
+        emit("phase.enter", phase="distributed_run", stencil=out.name,
+             nprocs=nprocs, exchange_mode=mode)
+        try:
+            results = run_ranks(
+                nprocs, rank_main, cart_dims=grid, periods=periods,
+                faults=faults,
+                scope_attrs={"backend": "numpy", "exchange_mode": mode},
+            )
+        finally:
+            emit("phase.exit", phase="distributed_run", stencil=out.name)
     return results[0]

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..obs import counter
+from ..obs.events import emit
 
 __all__ = [
     "FaultSpec",
@@ -230,6 +231,8 @@ class FaultInjector:
                           ("reorder", reorder), ("delay", delay_s > 0.0)):
             if hit:
                 counter(f"faults.{kind}", src=source, dst=dest)
+                emit(f"faults.{kind}", level="warn", src=source, dst=dest,
+                     tag=tag)
         return MessageVerdict(drop=drop, duplicate=dup, reorder=reorder,
                               delay_s=delay_s)
 
@@ -250,6 +253,8 @@ class FaultInjector:
                 if spec.rank == rank and ops == spec.step:
                     self.counts["crash"] += 1
                     counter("faults.crash", rank=rank, step=spec.step)
+                    emit("faults.crash", level="error", rank=rank,
+                         step=spec.step)
                     return True
         return False
 

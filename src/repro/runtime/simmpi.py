@@ -593,7 +593,8 @@ def _error_severity(exc: BaseException) -> int:
 def run_ranks(nprocs: int, main: Callable[[Communicator], Any],
               cart_dims: Optional[Sequence[int]] = None,
               periods: Optional[Sequence[bool]] = None,
-              timeout: float = 120.0, faults=None) -> List[Any]:
+              timeout: float = 120.0, faults=None,
+              scope_attrs: Optional[Dict[str, Any]] = None) -> List[Any]:
     """Run ``main(comm)`` on ``nprocs`` simulated ranks; return results.
 
     This is the ``mpiexec -n`` of the simulated runtime.  If any rank
@@ -603,6 +604,10 @@ def run_ranks(nprocs: int, main: Callable[[Communicator], Any],
     ``faults`` attaches a fault injector to the world: a
     :class:`~repro.runtime.faults.FaultInjector`, a spec string such as
     ``"drop:p=0.2"``, or a sequence of ``FaultSpec``.
+
+    ``scope_attrs`` (e.g. ``backend=``, ``exchange_mode=``) join each
+    rank thread's span scope alongside ``rank=``, so every span a rank
+    emits can be grouped by run configuration.
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
@@ -620,7 +625,8 @@ def run_ranks(nprocs: int, main: Callable[[Communicator], Any],
             # every span/counter on this thread carries rank=, under a
             # per-rank root span — the merged-timeline track for this
             # rank (see repro.obs.distributed)
-            with rank_scope(rank), span("runtime.rank", rank=rank):
+            with rank_scope(rank, **(scope_attrs or {})), \
+                    span("runtime.rank", rank=rank):
                 comm: Communicator = Communicator(world, rank)
                 if cart_dims is not None:
                     comm = CartComm(world, rank, tuple(cart_dims),
