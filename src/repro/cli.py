@@ -26,6 +26,13 @@ Commands
 - ``critpath FILE`` — communication critical path and load-imbalance
   report of a saved distributed trace; exits non-zero on a malformed
   span DAG (orphan inbound flow edges, dangling parents);
+- ``diff BASE CURRENT`` — align two runs (ledger ids, ``BENCH_*.json``
+  documents or trace files) by the phase taxonomy, print a waterfall
+  attributing the delta plus config drift; exits 1 on a gated
+  regression;
+- ``history WORKLOAD [--metric M] [--json]`` — per-metric trend over
+  the run ledger with a deterministic change-point detector whose
+  verdicts are annotated back into the ledger;
 - ``list`` — list the Table-4 benchmarks, report names, trace
   exporters and instrumented subsystems.
 
@@ -49,6 +56,13 @@ exposes OpenMetrics + flight state on ``127.0.0.1:PORT`` while the
 command runs (``--serve-linger`` keeps it up after); ``--event-log
 FILE`` (or ``REPRO_EVENT_LOG``) appends the structured JSONL event
 narration.  ``repro monitor`` tails either surface.
+
+Every ``run``/``simulate``/``tune``/``bench``/``verify`` invocation
+also appends a record — config + environment fingerprints, phase
+self-times, gated metrics, outcome — to the on-disk run ledger
+(``~/.local/state/repro/ledger.db``; ``REPRO_LEDGER_DIR`` overrides
+the directory, ``REPRO_LEDGER=0`` opts out).  ``repro diff`` and
+``repro history`` query it; see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -257,6 +271,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scrape timeout in seconds (default: 5.0)")
 
     p = sub.add_parser(
+        "diff",
+        help="attribute the performance delta between two runs",
+    )
+    p.add_argument("base", help="run to compare against: a ledger id "
+                                "(e.g. '3' or 'ledger:3'), a "
+                                "BENCH_*.json document, or a --trace "
+                                "file")
+    p.add_argument("current", help="run under scrutiny (same forms)")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="regression noise threshold as a fraction "
+                        "(default: 0.10)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output")
+
+    p = sub.add_parser(
+        "history",
+        help="metric trend + change-point report for a workload",
+    )
+    p.add_argument("workload", nargs="?",
+                   help="ledger workload key, e.g. '3d7pt_star@sunway' "
+                        "(omit to list recorded workloads)")
+    p.add_argument("--metric", default=None, metavar="M",
+                   help="track one metric (default: every gated metric)")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="only the newest N runs")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="change-point shift threshold as a fraction "
+                        "(default: 0.10)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable output")
+    p.add_argument("--no-annotate", action="store_true",
+                   help="do not write change-point verdicts back into "
+                        "the ledger")
+
+    p = sub.add_parser(
         "critpath",
         help="communication critical path of a saved distributed trace",
     )
@@ -339,10 +388,18 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import os
+
     from .frontend.lang import parse_program
+    from .obs import ledger as obs_ledger
 
     with open(args.file) as fh:
         parsed = parse_program(fh.read())
+    obs_ledger.note(
+        workload=f"run:{os.path.splitext(os.path.basename(args.file))[0]}",
+        config={"file": os.path.basename(args.file),
+                "steps": args.steps, "seed": args.seed},
+    )
     if parsed.pipeline is not None:
         return _run_pipeline(args, parsed)
     program = parsed.program
@@ -389,10 +446,22 @@ def _cmd_run(args) -> int:
     exchange_mode = getattr(args, "exchange_mode", None)
     if exchange_mode and not distributed:
         print("note: --exchange-mode only affects distributed runs")
+    cfg = {"stencil": parsed.stencil_name, "backend": backend,
+           "distributed": distributed}
+    if distributed:
+        cfg["mpi_grid"] = list(program.mpi_grid)
+        if exchange_mode:
+            cfg["exchange_mode"] = exchange_mode
+    cfg.update(obs_ledger.program_fingerprints(program))
+    obs_ledger.note(config=cfg)
     result = program.run(timesteps=args.steps, check=not args.no_check,
                          backend=backend, exchange_mode=exchange_mode)
     print(f"result: mean={result.mean():.6e} "
           f"l2={np.linalg.norm(result):.6e}")
+    obs_ledger.note(metrics={
+        "run.result_l2": obs_ledger.metric_point(
+            float(np.linalg.norm(result))),
+    })
     if args.out:
         np.save(args.out, result)
         print(f"saved to {args.out}")
@@ -435,6 +504,8 @@ def _run_pipeline(args, parsed) -> int:
 def _cmd_simulate(args) -> int:
     from .evalsuite.harness import build_with_schedule
     from .ir.dtypes import f32, f64
+    from .machine.spec import machine_by_name
+    from .obs import ledger as obs_ledger
 
     dtype = f32 if args.precision == "fp32" else f64
     target = args.machine if args.machine != "cpu" else "cpu"
@@ -444,6 +515,28 @@ def _cmd_simulate(args) -> int:
         _simulate_codegen_stage(args.benchmark, prog, target, check=check)
     report = prog.simulate(args.machine, timesteps=args.timesteps,
                            check=check)
+    # ledger: same `<bench>@<machine>` key as the bench workloads, so
+    # simulate and bench runs land in one longitudinal series
+    cfg = {"benchmark": args.benchmark, "machine": args.machine,
+           "precision": args.precision, "timesteps": args.timesteps,
+           "machine_spec": obs_ledger.machine_spec_hash(
+               machine_by_name(args.machine))}
+    if getattr(args, "exchange_mode", None):
+        cfg["exchange_mode"] = args.exchange_mode
+    cfg.update(obs_ledger.program_fingerprints(prog))
+    obs_ledger.note(
+        workload=f"{args.benchmark}@{args.machine}",
+        config=cfg,
+        metrics={
+            "sim.step_s": obs_ledger.metric_point(
+                report.step_s, unit="s", direction="lower", gate=True),
+            "sim.gflops": obs_ledger.metric_point(
+                report.gflops, unit="GFlop/s", direction="higher",
+                gate=True),
+        },
+        phases_sim={name: {"time_s": float(t)}
+                    for name, t in report.phases().items()},
+    )
     print(f"{args.benchmark} on {report.machine} ({report.precision}):")
     print(f"  per-step: {report.step_s * 1e3:.3f} ms "
           f"(memory {report.memory_s * 1e3:.3f} ms, "
@@ -549,6 +642,28 @@ def _cmd_tune(args) -> int:
     prog, _ = bench.build(grid=shape)
     tuner = AutoTuner(prog.ir, shape, nprocs=args.nprocs)
     result = tuner.tune(iterations=args.iterations, seed=args.seed)
+    from .obs import ledger as obs_ledger
+
+    obs_ledger.note(
+        workload=f"tune:{args.benchmark}",
+        config={"benchmark": args.benchmark, "nprocs": args.nprocs,
+                "shape": list(shape), "iterations": args.iterations,
+                "seed": args.seed,
+                "best_tile": list(result.best.tile),
+                "best_mpi_grid": list(result.best.mpi_grid),
+                "best_exchange_mode": result.best.exchange_mode,
+                **obs_ledger.program_fingerprints(prog)},
+        metrics={
+            "tune.best_time_s": obs_ledger.metric_point(
+                result.best_time, unit="s", direction="lower",
+                gate=True),
+            "tune.improvement": obs_ledger.metric_point(
+                result.improvement, unit="x", direction="higher",
+                gate=True),
+            "tune.pruned": obs_ledger.metric_point(
+                float(result.pruned)),
+        },
+    )
     print(f"tuned {args.benchmark} over {shape} on {args.nprocs} CGs:")
     print(f"  best tiles {result.best.tile}, "
           f"MPI grid {result.best.mpi_grid}, "
@@ -594,6 +709,20 @@ def _cmd_bench(args) -> int:
                          warmup=args.warmup, seed=args.seed)
     print(perf.format_bench(doc))
 
+    # ledger: one row per workload, so `repro history <workload>` has a
+    # natural longitudinal key
+    from .obs import ledger as obs_ledger
+
+    for wname, wl in doc["workloads"].items():
+        obs_ledger.note_workload(
+            wname,
+            config=wl.get("meta"),
+            metrics=wl.get("metrics"),
+            phases_sim=wl.get("phases_sim"),
+            phases_host=wl.get("phases_host"),
+            environment=doc.get("environment"),
+        )
+
     out = args.out or perf.bench_filename(name)
     perf.write_bench(out, doc)
     written = [out]
@@ -612,6 +741,13 @@ def _cmd_bench(args) -> int:
     cmp = perf.compare(doc, baseline, threshold=args.threshold)
     print()
     print(cmp.format())
+    if not cmp.ok:
+        worst = max(cmp.regressions, key=lambda d: d.worse_frac)
+        obs_ledger.note(verdict=(
+            f"regression vs {os.path.basename(args.compare)}: "
+            f"{len(cmp.regressions)} delta(s), worst {worst.label} "
+            f"{worst.worse_frac:+.1%}"
+        ))
     if cmp.ok or args.report_only:
         if not cmp.ok:
             print("(report-only mode: regressions do not fail the run)")
@@ -638,6 +774,26 @@ def _cmd_verify(args) -> int:
         status = "PASS" if r.passed else "FAIL"
         failed |= not r.passed
         print(f"  {r.path:24s} rel. err = {r.rel_error:.3e}  {status}")
+
+    from .obs import ledger as obs_ledger
+
+    ran = [r for r in results if r.ran]
+    obs_ledger.note(
+        workload=f"verify:{args.benchmark}",
+        config={"benchmark": args.benchmark,
+                "precision": args.precision,
+                "timesteps": args.timesteps, "seed": args.seed},
+        metrics={
+            "verify.paths_ran": obs_ledger.metric_point(
+                float(len(ran)), direction="higher"),
+            "verify.failures": obs_ledger.metric_point(
+                float(sum(not r.passed for r in ran)),
+                direction="lower", gate=True),
+            "verify.max_rel_error": obs_ledger.metric_point(
+                max((r.rel_error for r in ran), default=0.0),
+                direction="lower"),
+        },
+    )
     return 1 if failed else 0
 
 
@@ -776,6 +932,62 @@ def _cmd_critpath(args) -> int:
     return 0
 
 
+def _cmd_diff(args) -> int:
+    import json
+
+    from .obs.diff import diff_runs, load_views
+
+    base = load_views(args.base)
+    current = load_views(args.current)
+    report = diff_runs(base, current, threshold=args.threshold,
+                       base_label=args.base, current_label=args.current)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_history(args) -> int:
+    import json
+    import os
+
+    from .obs import ledger as obs_ledger
+    from .obs.diff import annotate_history, history_report
+
+    path = obs_ledger.ledger_path()
+    if not os.path.exists(path):
+        print(f"error: no run ledger at {path} (any run/simulate/tune/"
+              f"bench/verify invocation creates it)", file=sys.stderr)
+        return 1
+    with obs_ledger.open_ledger() as ledger:
+        if not args.workload:
+            recorded = ledger.workloads()
+            if not recorded:
+                print(f"run ledger at {path} is empty")
+                return 0
+            print(f"recorded workloads ({path}):")
+            for wname, n in recorded:
+                print(f"  {wname:36s} {n} run(s)")
+            return 0
+        rows = ledger.query(workload=args.workload, limit=args.limit)
+        if not rows:
+            print(f"error: no ledger runs for workload "
+                  f"{args.workload!r} ({path})", file=sys.stderr)
+            return 1
+        report = history_report(rows, args.workload, metric=args.metric,
+                                threshold=args.threshold)
+        applied = [] if args.no_annotate else \
+            annotate_history(ledger, report)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(report.format())
+    for line in applied:
+        print(f"ledger annotated: {line}")
+    return 0
+
+
 def _cmd_list(_args) -> int:
     from .frontend.stencils import ALL_BENCHMARKS
     from .obs import INSTRUMENTED_SUBSYSTEMS
@@ -806,6 +1018,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "monitor": _cmd_monitor,
     "critpath": _cmd_critpath,
+    "diff": _cmd_diff,
+    "history": _cmd_history,
     "list": _cmd_list,
 }
 
@@ -858,6 +1072,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if _flight_default_on():
         obs_trace.enable_flight(capacity=_flight_capacity())
 
+    # run ledger: every recording command appends a row by default
+    # (REPRO_LEDGER=0 opts out); commands contribute fingerprints and
+    # metrics through obs_ledger.note()/note_workload() while they run
+    from .obs import ledger as obs_ledger
+
+    record_run = (args.command in obs_ledger.LEDGED_COMMANDS
+                  and obs_ledger.enabled())
+    if record_run:
+        obs_ledger.begin(args.command)
+
     installed_sink = None
     if event_path:
         # replaces (and closes) any previously installed sink
@@ -879,6 +1103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"serving telemetry on {server.url}/metrics "
               f"(also /flight, /series)")
 
+    rc = 1
     try:
         from .obs import span
 
@@ -909,6 +1134,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from .obs import registry
 
                 registry().disable()
+        if record_run:
+            # fold this invocation's spans (full trace when --trace was
+            # given, else the flight ring) into the ledger row — before
+            # the flight-recorder state is restored below
+            if trace_file:
+                led_spans = list(tr.records)
+            elif tr.flight is not None:
+                led_spans = tr.flight.snapshot()
+            else:
+                led_spans = None
+            obs_ledger.finish(rc, spans=led_spans)
         if installed_sink is not None:
             obs_events.uninstall()
         # restore the caller's flight-recorder state

@@ -39,31 +39,73 @@ __all__ = [
     "current",
     "read_events",
     "ENV_EVENT_LOG",
+    "ENV_EVENT_LOG_MAX_BYTES",
 ]
 
 #: environment variable naming the default event-log path
 ENV_EVENT_LOG = "REPRO_EVENT_LOG"
+#: size cap in bytes; exceeding it rolls the file over to ``<path>.1``
+ENV_EVENT_LOG_MAX_BYTES = "REPRO_EVENT_LOG_MAX_BYTES"
 
 _LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
 
 
-class EventLog:
-    """One append-only JSONL sink (thread-safe, line-buffered)."""
+def _max_bytes_from_env() -> Optional[int]:
+    raw = os.environ.get(ENV_EVENT_LOG_MAX_BYTES, "")
+    try:
+        cap = int(raw)
+    except ValueError:
+        return None
+    return cap if cap > 0 else None
 
-    def __init__(self, path: str, min_level: str = "debug"):
+
+class EventLog:
+    """One append-only JSONL sink (thread-safe, line-buffered).
+
+    With a size cap (``max_bytes`` argument, default from
+    ``REPRO_EVENT_LOG_MAX_BYTES``) the file rolls over **once**: when
+    the next record would push it past the cap, the current file is
+    renamed to ``<path>.1`` (replacing any previous rollover) and
+    emission continues into a fresh ``<path>`` — so an unattended run
+    keeps at most ``2 × max_bytes`` of narration, newest always in
+    ``<path>``.
+    """
+
+    def __init__(self, path: str, min_level: str = "debug",
+                 max_bytes: Optional[int] = None):
         if min_level not in _LEVELS:
             raise ValueError(f"unknown event level {min_level!r}")
         self.path = path
         self.min_level = min_level
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else _max_bytes_from_env())
         self._threshold = _LEVELS[min_level]
         self._lock = threading.Lock()
         self._fh: Optional[TextIO] = open(path, "a", encoding="utf-8")
+        try:
+            self._size = os.path.getsize(path)
+        except OSError:
+            self._size = 0
         self._count = 0
+        self._rotations = 0
 
     @property
     def count(self) -> int:
         """Records written through this sink."""
         return self._count
+
+    @property
+    def rotations(self) -> int:
+        """How many times the file has rolled over to ``<path>.1``."""
+        return self._rotations
+
+    def _rotate_locked(self) -> None:
+        assert self._fh is not None
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self._rotations += 1
 
     def emit(self, event: str, level: str = "info", **fields: Any) -> None:
         """Append one record (no-op below ``min_level`` or when closed)."""
@@ -93,8 +135,13 @@ class EventLog:
         with self._lock:
             if self._fh is None:
                 return
+            nbytes = len(line.encode("utf-8")) + 1
+            if (self.max_bytes is not None and self._size > 0
+                    and self._size + nbytes > self.max_bytes):
+                self._rotate_locked()
             self._fh.write(line + "\n")
             self._fh.flush()  # tailers must see records promptly
+            self._size += nbytes
             self._count += 1
 
     def close(self) -> None:

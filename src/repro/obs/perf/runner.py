@@ -198,16 +198,27 @@ def environment_fingerprint() -> Dict[str, Any]:
         "cpu_count": os.cpu_count(),
         "executable": sys.executable,
     }
+    # git state is load-bearing for the run ledger: always present (so
+    # ledger rows line up column-wise), "unknown" when rev-parse fails,
+    # and a dirty-tree bool so historical rows from uncommitted trees
+    # are distinguishable from clean ones.
+    fp["git"] = "unknown"
     try:
         import subprocess
 
+        cwd = os.path.dirname(os.path.abspath(__file__))
         sha = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=5,
-            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=5, cwd=cwd,
         )
-        if sha.returncode == 0:
+        if sha.returncode == 0 and sha.stdout.strip():
             fp["git"] = sha.stdout.strip()
+            status = subprocess.run(
+                ["git", "status", "--porcelain"],
+                capture_output=True, text=True, timeout=5, cwd=cwd,
+            )
+            if status.returncode == 0:
+                fp["git_dirty"] = bool(status.stdout.strip())
     except Exception:  # noqa: BLE001 - fingerprint stays best-effort
         pass
     return fp

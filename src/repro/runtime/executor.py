@@ -237,6 +237,17 @@ def distributed_run(stencil: Stencil, init: Sequence[np.ndarray],
         raise ValueError(
             f"MPI grid is {len(grid)}-D for a {out.ndim}-D stencil"
         )
+    # run-ledger fingerprint plumbing: a no-op unless a CLI command is
+    # collecting a record (see repro.obs.ledger)
+    from ..obs import ledger as obs_ledger
+
+    obs_ledger.note(config={
+        "mpi_grid": list(grid),
+        "exchanger": exchanger,
+        "exchange_mode": exchange_mode or "default",
+        "boundary": boundary,
+        "dist_timesteps": int(timesteps),
+    })
     nprocs = 1
     for g in grid:
         nprocs *= g

@@ -25,6 +25,20 @@ def _isolated_artifact_cache(tmp_path_factory):
     yield
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_ledger(tmp_path_factory):
+    """Keep in-process cli.main() calls out of the user's run ledger.
+
+    An explicit REPRO_LEDGER_DIR (e.g. a test exercising the real
+    resolution chain) is honoured.
+    """
+    if "REPRO_LEDGER_DIR" not in os.environ:
+        os.environ["REPRO_LEDGER_DIR"] = str(
+            tmp_path_factory.mktemp("run-ledger")
+        )
+    yield
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
